@@ -1,0 +1,70 @@
+// Command benchgen emits synthetic signal-group benchmarks as design JSON.
+//
+// Usage:
+//
+//	benchgen -industry 2 -out industry2.json
+//	benchgen -industry 2 -scale 0.25 -out small.json
+//	benchgen -all -dir bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/benchgen"
+)
+
+func main() {
+	var (
+		industry = flag.Int("industry", 0, "generate Industry<n> (1..7)")
+		all      = flag.Bool("all", false, "generate every Industry preset")
+		scale    = flag.Float64("scale", 1.0, "scale factor (0,1]")
+		out      = flag.String("out", "", "output file (default stdout)")
+		dir      = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, spec := range benchgen.AllIndustry() {
+			if *scale < 1 {
+				spec = benchgen.Scale(spec, *scale)
+			}
+			d := spec.Generate()
+			name := strings.ReplaceAll(strings.ToLower(d.Name), "@", "-s")
+			path := filepath.Join(*dir, name+".json")
+			if err := d.SaveFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d groups, %d nets, %d pins -> %s\n",
+				d.Name, len(d.Groups), d.NumNets(), d.NumPins(), path)
+		}
+		return
+	}
+
+	if *industry < 1 || *industry > 7 {
+		fmt.Fprintln(os.Stderr, "benchgen: need -industry N (1..7) or -all")
+		os.Exit(2)
+	}
+	spec := benchgen.Industry(*industry)
+	if *scale < 1 {
+		spec = benchgen.Scale(spec, *scale)
+	}
+	d := spec.Generate()
+	if *out == "" {
+		if err := d.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := d.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d groups, %d nets, %d pins -> %s\n",
+		d.Name, len(d.Groups), d.NumNets(), d.NumPins(), *out)
+}

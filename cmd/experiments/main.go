@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the synthetic Industry benchmarks.
+//
+// Usage:
+//
+//	experiments -table 1                # Table I (manual vs ILP vs PD)
+//	experiments -table 2                # Table II (post optimization)
+//	experiments -fig 11                 # Industry7 congestion maps
+//	experiments -fig 13                 # scalability CSV
+//	experiments -all                    # everything
+//	experiments -all -scale 0.1 -ilptime 5s -bench 1,3,7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "regenerate Table N (1 or 2)")
+		fig     = flag.Int("fig", 0, "regenerate Fig N (11, 12, 13, 14 or 15)")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		scale   = flag.Float64("scale", 0.2, "benchmark scale factor (1 = full size)")
+		ilpTime = flag.Duration("ilptime", 20*time.Second, "ILP time limit")
+		benchs  = flag.String("bench", "", "comma-separated Industry numbers (default all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Scale:   *scale,
+		ILPTime: *ilpTime,
+	}
+	if *benchs != "" {
+		for _, part := range strings.Split(*benchs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 || n > 7 {
+				fmt.Fprintf(os.Stderr, "experiments: bad benchmark %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, n)
+		}
+	}
+
+	run := func(name string, fn func(experiments.Config) error) {
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	did := false
+	if *all || *table == 1 {
+		run("Table I", experiments.Table1)
+		did = true
+	}
+	if *all || *table == 2 {
+		run("Table II", experiments.Table2)
+		did = true
+	}
+	if *all || *fig == 11 {
+		run("Fig 11", func(c experiments.Config) error { return experiments.CongestionMaps(c, 7) })
+		did = true
+	}
+	if *all || *fig == 12 {
+		run("Fig 12", func(c experiments.Config) error { return experiments.CongestionMaps(c, 6) })
+		did = true
+	}
+	if *all || *fig == 13 {
+		run("Fig 13", experiments.Fig13)
+		did = true
+	}
+	if *all || *fig == 14 {
+		run("Fig 14", experiments.Fig14)
+		did = true
+	}
+	if *all || *fig == 15 {
+		run("Fig 15", experiments.Fig15)
+		did = true
+	}
+	if !did {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table, -fig or -all")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,120 @@
+// Command streak routes a signal-group design with the Streak flow and
+// prints the resulting metrics and congestion map.
+//
+// Usage:
+//
+//	streak -design path/to/design.json [-method pd|ilp] [-ilptime 60s]
+//	       [-nopost] [-heatmap] [-out routed.json]
+//	streak -industry 3 [-scale 0.2] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchgen"
+
+	streak "repro"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "design JSON file to route")
+		industry   = flag.Int("industry", 0, "generate Industry<n> benchmark (1..7) instead of loading a file")
+		scale      = flag.Float64("scale", 1.0, "scale factor for generated benchmarks (0,1]")
+		method     = flag.String("method", "pd", "selection solver: pd, ilp or hier")
+		ilpTime    = flag.Duration("ilptime", 60*time.Second, "ILP time limit")
+		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
+		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
+		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
+	)
+	flag.Parse()
+
+	design, err := loadDesign(*designPath, *industry, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streak:", err)
+		os.Exit(1)
+	}
+
+	opt := streak.DefaultOptions()
+	switch *method {
+	case "pd":
+	case "ilp":
+		opt.Method = streak.ILP
+		opt.ILPTimeLimit = *ilpTime
+		opt.ILPWarmStart = true
+	case "hier":
+		opt.Method = streak.Hierarchical
+		opt.HierTimePerTile = *ilpTime / 4
+	default:
+		fmt.Fprintf(os.Stderr, "streak: unknown method %q (want pd, ilp or hier)\n", *method)
+		os.Exit(2)
+	}
+	if *noPost {
+		opt.PostOpt = false
+		opt.Clustering = false
+		opt.Refinement = false
+	}
+
+	res, err := streak.Route(design, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streak:", err)
+		os.Exit(1)
+	}
+
+	m := res.Metrics
+	fmt.Printf("design      %s (%d groups, %d nets, %d pins)\n", design.Name, m.Groups, m.Nets, m.Pins)
+	fmt.Printf("method      %s\n", opt.Method)
+	fmt.Printf("route       %.2f%% (%d/%d groups)\n", m.RouteFrac*100, m.RoutedGroups, m.Groups)
+	fmt.Printf("wirelength  %.2fe5\n", m.WL/1e5)
+	fmt.Printf("avg(reg)    %.2f%%\n", m.AvgReg*100)
+	fmt.Printf("vio(dst)    %d (before refinement: %d)\n", m.VioDst, res.VioBefore)
+	fmt.Printf("overflow    %d (%d edges)\n", m.Overflow, m.OverflowEdges)
+	fmt.Printf("runtime     %.2fs%s\n", res.Runtime.Seconds(), timedOutNote(res.TimedOut))
+	if *heatmap {
+		fmt.Println("\ncongestion map:")
+		streak.WriteHeatmap(os.Stdout, res, 64)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streak:", err)
+			os.Exit(1)
+		}
+		if err := streak.WriteSVG(f, res); err != nil {
+			fmt.Fprintln(os.Stderr, "streak:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "streak:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("svg         %s\n", *svgOut)
+	}
+}
+
+func timedOutNote(timedOut bool) string {
+	if timedOut {
+		return " (ILP time limit reached; best feasible reported)"
+	}
+	return ""
+}
+
+func loadDesign(path string, industry int, scale float64) (*streak.Design, error) {
+	switch {
+	case path != "" && industry != 0:
+		return nil, fmt.Errorf("use either -design or -industry, not both")
+	case path != "":
+		return streak.LoadDesign(path)
+	case industry >= 1 && industry <= 7:
+		spec := benchgen.Industry(industry)
+		if scale < 1 {
+			spec = benchgen.Scale(spec, scale)
+		}
+		return spec.Generate(), nil
+	default:
+		return nil, fmt.Errorf("need -design FILE or -industry N (1..7)")
+	}
+}

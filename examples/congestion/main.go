@@ -1,0 +1,41 @@
+// Congestion-map comparison on a generated industrial benchmark — the
+// Fig. 11/12 scenario at example scale. Routes a scaled Industry7 with the
+// manual baseline and with Streak, printing both heatmaps side by side in
+// sequence. Run with:
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	streak "repro"
+
+	"repro/internal/benchgen"
+)
+
+func main() {
+	spec := benchgen.Scale(benchgen.Industry(7), 0.15)
+	design := spec.Generate()
+	fmt.Printf("%s: %d groups, %d nets, %d pins on a %dx%d grid\n",
+		design.Name, len(design.Groups), design.NumNets(), design.NumPins(),
+		design.Grid.W, design.Grid.H)
+
+	manual, err := streak.ManualBaseline(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(a) manual design: route %.2f%%, WL %.2fe5, overflow %d\n",
+		manual.Metrics.RouteFrac*100, manual.Metrics.WL/1e5, manual.Metrics.Overflow)
+	streak.WriteHeatmap(os.Stdout, manual, 56)
+
+	res, err := streak.Route(design, streak.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(b) Streak: route %.2f%%, WL %.2fe5, Avg(Reg) %.2f%%, overflow %d\n",
+		res.Metrics.RouteFrac*100, res.Metrics.WL/1e5, res.Metrics.AvgReg*100, res.Metrics.Overflow)
+	streak.WriteHeatmap(os.Stdout, res, 56)
+}

@@ -1,0 +1,95 @@
+// Macro blockages: the Fig. 7 scenario — a signal group whose straight
+// path is blocked by a macro (a zero-capacity region on the lower layers).
+// The global pass cannot push every bit through the gap, so post-opt
+// clustering splits the group into multiple routing styles that bypass the
+// obstacle. Run with:
+//
+//	go run ./examples/macros
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	streak "repro"
+
+	"repro/internal/geom"
+)
+
+func main() {
+	design := &streak.Design{
+		Name: "macros",
+		Grid: streak.GridSpec{W: 40, H: 24, NumLayers: 4, EdgeCap: 2, Pitch: 1},
+	}
+	// A macro blocks the lower layer pair across the whole channel band,
+	// and even the upper horizontal layer over the band's middle rows —
+	// bits there must shift rows to get around (Fig. 7's situation).
+	for _, layer := range []int{0, 1} {
+		design.Grid.Blockages = append(design.Grid.Blockages, streak.Blockage{
+			Layer: layer,
+			Rect:  geom.Rect{Lo: geom.Pt(16, 6), Hi: geom.Pt(24, 18)},
+		})
+	}
+	design.Grid.Blockages = append(design.Grid.Blockages, streak.Blockage{
+		Layer: 2,
+		Rect:  geom.Rect{Lo: geom.Pt(16, 10), Hi: geom.Pt(24, 13)},
+	})
+
+	// An 8-bit bus wants to cross exactly where the macro sits.
+	var bus streak.Group
+	bus.Name = "cross"
+	for b := 0; b < 8; b++ {
+		bus.Bits = append(bus.Bits, streak.Bit{
+			Name:   fmt.Sprintf("cross[%d]", b),
+			Driver: 0,
+			Pins: []streak.Pin{
+				{Loc: geom.Pt(3, 8+b)},
+				{Loc: geom.Pt(36, 8+b)},
+			},
+		})
+	}
+	design.Groups = append(design.Groups, bus)
+
+	noPost := streak.DefaultOptions()
+	noPost.PostOpt, noPost.Clustering, noPost.Refinement = false, false, false
+	before, err := streak.Route(design, noPost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := streak.Route(design, streak.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	count := func(res *streak.Result) int {
+		n := 0
+		for _, br := range res.Routing.Bits[0] {
+			if br.Routed {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("global pass only:  %d/8 bits routed (no single shared topology clears the macro)\n", count(before))
+	fmt.Printf("with clustering:   %d/8 bits routed, overflow %d\n", count(after), after.Metrics.Overflow)
+
+	// Show the styles the clustering produced: bits that kept the straight
+	// topology vs bits rerouted around the macro on other layers/rows.
+	styles := map[string][]string{}
+	for bi, br := range after.Routing.Bits[0] {
+		if !br.Routed {
+			styles["UNROUTED"] = append(styles["UNROUTED"], bus.Bits[bi].Name)
+			continue
+		}
+		key := fmt.Sprintf("H=M%d V=M%d bends=%d", br.HLayer+2, br.VLayer+2, br.Tree.Bends())
+		styles[key] = append(styles[key], bus.Bits[bi].Name)
+	}
+	fmt.Println("\nrouting styles after clustering:")
+	for key, bits := range styles {
+		fmt.Printf("  %-24s %v\n", key, bits)
+	}
+
+	fmt.Println("\ncongestion (macro region visible as the blocked band):")
+	streak.WriteHeatmap(os.Stdout, after, 40)
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a tiny design by hand, route it with the full Streak
+// flow, and inspect the result. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	streak "repro"
+
+	"repro/internal/geom"
+)
+
+func main() {
+	// A 32x32 G-cell grid with four alternating H/V layers, four routing
+	// tracks per edge.
+	design := &streak.Design{
+		Name: "quickstart",
+		Grid: streak.GridSpec{W: 32, H: 32, NumLayers: 4, EdgeCap: 4, Pitch: 1},
+	}
+
+	// One 4-bit signal group: adjacent drivers on the left edge, sinks 20
+	// cells to the east. All four bits share pin geometry, so Streak
+	// identifies them as one routing object with a common topology.
+	var bus streak.Group
+	bus.Name = "data[3:0]"
+	for b := 0; b < 4; b++ {
+		bus.Bits = append(bus.Bits, streak.Bit{
+			Name:   fmt.Sprintf("data[%d]", b),
+			Driver: 0,
+			Pins: []streak.Pin{
+				{Loc: geom.Pt(4, 10+b)},
+				{Loc: geom.Pt(24, 10+b)},
+			},
+		})
+	}
+	design.Groups = append(design.Groups, bus)
+
+	// A second group with a multipin bit: one driver fanning out to two
+	// sinks. Streak generates a backbone Steiner topology and replicates
+	// it across the group's bits.
+	var fan streak.Group
+	fan.Name = "ctrl[1:0]"
+	for b := 0; b < 2; b++ {
+		fan.Bits = append(fan.Bits, streak.Bit{
+			Name:   fmt.Sprintf("ctrl[%d]", b),
+			Driver: 0,
+			Pins: []streak.Pin{
+				{Loc: geom.Pt(6, 20+b)},
+				{Loc: geom.Pt(20, 20+b)},
+				{Loc: geom.Pt(14, 26+b)},
+			},
+		})
+	}
+	design.Groups = append(design.Groups, fan)
+
+	res, err := streak.Route(design, streak.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("routed %d/%d groups (%.0f%%), wirelength %d, Avg(Reg) %.0f%%, overflow %d\n",
+		m.RoutedGroups, m.Groups, m.RouteFrac*100, int(m.WL), m.AvgReg*100, m.Overflow)
+
+	// Print every bit's routed tree.
+	for gi, g := range design.Groups {
+		for bi, bit := range g.Bits {
+			br := res.Routing.Bits[gi][bi]
+			if !br.Routed {
+				fmt.Printf("  %-8s UNROUTED\n", bit.Name)
+				continue
+			}
+			fmt.Printf("  %-8s H=M%d V=M%d  %s\n", bit.Name, br.HLayer+2, br.VLayer+2, br.Tree)
+		}
+	}
+
+	fmt.Println("\ncongestion map:")
+	streak.WriteHeatmap(log.Writer(), res, 32)
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+func TestRouteEverythingRouted(t *testing.T) {
+	spec := benchgen.Scale(benchgen.Industry(1), 0.05)
+	d := spec.Generate()
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Route(p)
+	for gi := range res.Routing.Bits {
+		for bi, b := range res.Routing.Bits[gi] {
+			if !b.Routed {
+				t.Fatalf("manual baseline left group %d bit %d unrouted", gi, bi)
+			}
+			if !b.Tree.Connected(d.Groups[gi].Bits[bi].PinLocs()) {
+				t.Fatalf("group %d bit %d tree disconnected", gi, bi)
+			}
+		}
+	}
+	if res.Routing.RoutedGroups() != len(d.Groups) {
+		t.Error("manual baseline must route 100% of groups")
+	}
+}
+
+func TestRouteMayOverflowButTracksIt(t *testing.T) {
+	// Overlapping buses with tiny capacity: manual still routes all, and
+	// overflow shows up in the usage (the Fig. 11(a)/12(a) hotspots).
+	d := &signal.Design{
+		Name: "hot",
+		Grid: signal.GridSpec{W: 24, H: 12, NumLayers: 2, EdgeCap: 1},
+	}
+	for gi := 0; gi < 3; gi++ {
+		var g signal.Group
+		for b := 0; b < 3; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Driver: 0,
+				Pins:   []signal.Pin{{Loc: geom.Pt(2, 2+b)}, {Loc: geom.Pt(20, 2+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Route(p)
+	if res.Routing.RoutedGroups() != 3 {
+		t.Fatalf("routed %d of 3 groups", res.Routing.RoutedGroups())
+	}
+	if res.Usage.Overflow() == 0 {
+		t.Error("three stacked buses over capacity 1 must overflow")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	spec := benchgen.Scale(benchgen.Industry(3), 0.05)
+	d := spec.Generate()
+	p1, _ := route.Build(d, route.Options{})
+	p2, _ := route.Build(d, route.Options{})
+	r1, r2 := Route(p1), Route(p2)
+	if r1.Usage.TotalUse() != r2.Usage.TotalUse() {
+		t.Error("baseline nondeterministic")
+	}
+}
+
+func TestRouteSolutionObjectsRecorded(t *testing.T) {
+	spec := benchgen.Scale(benchgen.Industry(1), 0.05)
+	d := spec.Generate()
+	p, _ := route.Build(d, route.Options{})
+	res := Route(p)
+	for gi := range d.Groups {
+		if len(res.Routing.Objects[gi]) == 0 {
+			t.Fatalf("group %d has no solution objects", gi)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package benchgen generates synthetic signal-group routing benchmarks.
+// The paper evaluates on seven proprietary 10 nm industrial designs
+// (Industry1–Industry7) of which only aggregate statistics are published:
+// group count (#SG), net count (#Net), maximum pins per net (Np_max) and
+// maximum group width (W_max), plus a qualitative congestion profile. The
+// presets here reproduce those knobs with deterministic seeds: groups are
+// placed with adjacent pins (Definition 1), a share of groups carries two
+// routing styles so regularity is non-trivial, multipin benchmarks add
+// extra same-direction sinks, and congested presets shrink grid capacity.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// Spec parametrizes one generated benchmark.
+type Spec struct {
+	// Name labels the design.
+	Name string
+	// Seed drives all randomness; same spec -> same design.
+	Seed int64
+	// W, H are grid dimensions in G-cells.
+	W, H int
+	// NumLayers and EdgeCap define the metal stack.
+	NumLayers, EdgeCap int
+	// NumGroups is the number of signal groups (#SG).
+	NumGroups int
+	// AvgWidth is the mean bits per group; widths are drawn around it.
+	AvgWidth int
+	// MaxWidth caps group width; exactly one group gets this width (W_max).
+	MaxWidth int
+	// MaxPins is the maximum pins per bit (Np_max). 2 = classic two-pin.
+	MaxPins int
+	// MultipinFrac is the fraction of groups whose bits get extra sinks
+	// (only meaningful when MaxPins > 2).
+	MultipinFrac float64
+	// TwoStyleFrac is the fraction of groups split into two routing
+	// styles (two identification objects), which makes Avg(Reg)
+	// non-trivial.
+	TwoStyleFrac float64
+	// MixedDirFrac is the fraction of groups whose second style runs
+	// perpendicular to the first (Fig. 1's branching groups). Such styles
+	// share no RC, so they pull Avg(Reg) below 100 % the way the paper's
+	// real designs do.
+	MixedDirFrac float64
+	// ShortSinkFrac is the fraction of groups given one bit with a much
+	// closer sink, seeding source-to-sink distance violations (Fig. 4(b)).
+	ShortSinkFrac float64
+	// CenterBias is the fraction of groups placed around the grid center
+	// instead of uniformly. Industrial floorplans concentrate signal
+	// groups near macrocell channels; the bias creates the local hotspots
+	// visible in the paper's congestion maps (Figs. 11 and 12).
+	CenterBias float64
+	// Pitch scales G-cell wirelength into report units.
+	Pitch int
+}
+
+// Generate materializes the benchmark design.
+func (s Spec) Generate() *signal.Design {
+	r := rand.New(rand.NewSource(s.Seed))
+	d := &signal.Design{
+		Name: s.Name,
+		Grid: signal.GridSpec{W: s.W, H: s.H, NumLayers: s.NumLayers, EdgeCap: s.EdgeCap, Pitch: s.Pitch},
+	}
+	for gi := 0; gi < s.NumGroups; gi++ {
+		width := s.groupWidth(r, gi)
+		g := s.makeGroup(r, gi, width)
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}
+
+// groupWidth draws a group width around AvgWidth; group 0 gets MaxWidth.
+func (s Spec) groupWidth(r *rand.Rand, gi int) int {
+	if gi == 0 && s.MaxWidth > 0 {
+		return s.MaxWidth
+	}
+	w := s.AvgWidth/2 + r.Intn(s.AvgWidth+1)
+	if w < 2 {
+		w = 2
+	}
+	if s.MaxWidth > 0 && w > s.MaxWidth {
+		w = s.MaxWidth
+	}
+	return w
+}
+
+// makeGroup builds one signal group of the given width: a bundle of bits
+// with adjacent pins, horizontal or vertical trunk direction, optionally
+// two styles, extra sinks, and a short-sink bit.
+func (s Spec) makeGroup(r *rand.Rand, gi, width int) signal.Group {
+	g := signal.Group{Name: fmt.Sprintf("sg%03d", gi)}
+	horizontal := r.Intn(2) == 0
+	trunk := 8 + r.Intn(s.trunkMax())
+	twoStyle := r.Float64() < s.TwoStyleFrac
+	mixedDir := r.Float64() < s.MixedDirFrac
+	multipin := s.MaxPins > 2 && (r.Float64() < s.MultipinFrac || gi == 1)
+	shortSink := r.Float64() < s.ShortSinkFrac
+
+	// Group origin: the bundle occupies `width` adjacent rows (or columns)
+	// and `trunk` cells along the routing direction. Center-biased groups
+	// cluster around the grid middle to form hotspots.
+	var ox, oy int
+	spanX, spanY := s.W-trunk-6, s.H-width-4
+	if !horizontal {
+		spanX, spanY = s.W-width-4, s.H-trunk-6
+	}
+	if r.Float64() < s.CenterBias {
+		ox = 1 + clampInt(int(float64(spanX)/2+r.NormFloat64()*float64(spanX)/7), 0, max(0, spanX-1))
+		oy = 1 + clampInt(int(float64(spanY)/2+r.NormFloat64()*float64(spanY)/7), 0, max(0, spanY-1))
+	} else {
+		ox = 1 + r.Intn(max(1, spanX))
+		oy = 1 + r.Intn(max(1, spanY))
+	}
+
+	// Second-style bits get an extra jog at the sink end.
+	styleSplit := width
+	if twoStyle && width >= 4 {
+		styleSplit = width / 2
+	}
+	jog := 2 + r.Intn(3)
+
+	// Extra sinks for multipin bits: same relative offsets for every bit
+	// in a style so identification groups them.
+	// Extra-sink counts are light-tailed (most multipin bits have 3-5
+	// pins); group 1 carries the full Np_max so the benchmark statistic
+	// holds.
+	extraSinks := 0
+	if multipin {
+		if gi == 1 {
+			extraSinks = s.MaxPins - 2
+		} else {
+			extraSinks = 1 + r.Intn(min(3, s.MaxPins-2))
+		}
+	}
+	extraOff := make([]geom.Point, extraSinks)
+	for e := range extraOff {
+		along := 3 + r.Intn(max(2, trunk-3))
+		across := 2 + r.Intn(4)
+		if horizontal {
+			extraOff[e] = geom.Pt(along, across)
+		} else {
+			extraOff[e] = geom.Pt(across, along)
+		}
+	}
+
+	shortIdx := -1
+	if shortSink && width >= 3 {
+		shortIdx = width - 1
+	}
+
+	for b := 0; b < width; b++ {
+		var drv, snk geom.Point
+		if horizontal {
+			drv = geom.Pt(ox, oy+b)
+			snk = geom.Pt(ox+trunk, oy+b)
+		} else {
+			drv = geom.Pt(ox+b, oy)
+			snk = geom.Pt(ox+b, oy+trunk)
+		}
+		if b >= styleSplit {
+			if mixedDir {
+				// Perpendicular second style: sinks branch off across the
+				// trunk direction (Fig. 1's Group3 shape), fanned out over
+				// distinct columns/rows so their trunks can run in parallel.
+				k := b - styleSplit
+				if horizontal {
+					snk = geom.Pt(ox+3+k, oy+width+2+trunk/3)
+				} else {
+					snk = geom.Pt(ox+width+2+trunk/3, oy+3+k)
+				}
+			} else if horizontal {
+				// Second style: sink jogs across the trunk direction.
+				snk = snk.Add(geom.Pt(0, jog))
+			} else {
+				snk = snk.Add(geom.Pt(jog, 0))
+			}
+		}
+		if b == shortIdx {
+			// Short-sink bit: the sink sits much closer to the driver,
+			// seeding a distance-deviation violation. Keep the SVs equal
+			// (same direction) so the bit stays in the object.
+			if horizontal {
+				snk = geom.Pt(ox+max(2, trunk/5), oy+b)
+			} else {
+				snk = geom.Pt(ox+b, oy+max(2, trunk/5))
+			}
+		}
+		bit := signal.Bit{
+			Name:   fmt.Sprintf("%s[%d]", g.Name, b),
+			Driver: 0,
+			Pins:   []signal.Pin{{Loc: s.clamp(drv)}, {Loc: s.clamp(snk)}},
+		}
+		if b != shortIdx {
+			for _, off := range extraOff {
+				bit.Pins = append(bit.Pins, signal.Pin{Loc: s.clamp(drv.Add(off))})
+			}
+		}
+		g.Bits = append(g.Bits, bit)
+	}
+	return g
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (s Spec) trunkMax() int {
+	m := s.W
+	if s.H < m {
+		m = s.H
+	}
+	m = m/2 - 8
+	if m < 4 {
+		m = 4
+	}
+	return m
+}
+
+func (s Spec) clamp(p geom.Point) geom.Point {
+	x, y := p.X, p.Y
+	if x < 0 {
+		x = 0
+	}
+	if x >= s.W {
+		x = s.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= s.H {
+		y = s.H - 1
+	}
+	return geom.Pt(x, y)
+}
+
+// Scale shrinks a spec's group count (and grid area proportionally) by
+// factor f in (0, 1], producing a faster benchmark with the same character.
+func Scale(s Spec, f float64) Spec {
+	if f <= 0 || f > 1 {
+		panic("benchgen: scale factor must be in (0,1]")
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@%.2f", s.Name, f)
+	out.NumGroups = max(1, int(float64(s.NumGroups)*f))
+	shrink := 0.35 + 0.65*f // grid shrinks slower than group count
+	out.W = max(24, int(float64(s.W)*shrink))
+	out.H = max(24, int(float64(s.H)*shrink))
+	// Wide groups must still fit the shrunken grid.
+	lim := min(out.W, out.H) - 8
+	if out.MaxWidth > lim {
+		out.MaxWidth = lim
+	}
+	if out.AvgWidth > out.MaxWidth/2 && out.MaxWidth >= 4 {
+		out.AvgWidth = out.MaxWidth / 2
+	}
+	return out
+}
+
+// WithExtraPins returns a spec with more multipin content — the paper's
+// scalability study (Fig. 13(b)) inserts pseudo pins into Industry2-based
+// benchmarks to stress multipin routing.
+func WithExtraPins(s Spec, maxPins int, frac float64) Spec {
+	out := s
+	out.Name = s.Name + "+mp"
+	out.MaxPins = maxPins
+	out.MultipinFrac = frac
+	return out
+}

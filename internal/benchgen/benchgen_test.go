@@ -1,0 +1,174 @@
+package benchgen
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func TestPresetsValidateAndMatchStats(t *testing.T) {
+	wants := []struct {
+		n, sg, npMax, wMax int
+	}{
+		{1, 230, 2, 75},
+		{2, 492, 2, 136},
+		{3, 234, 2, 70},
+		{4, 146, 2, 147},
+		{5, 587, 14, 77},
+		{6, 409, 9, 256},
+		{7, 171, 7, 147},
+	}
+	for _, w := range wants {
+		spec := Industry(w.n)
+		d := spec.Generate()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Industry%d invalid: %v", w.n, err)
+		}
+		if len(d.Groups) != w.sg {
+			t.Errorf("Industry%d #SG = %d, want %d", w.n, len(d.Groups), w.sg)
+		}
+		if got := d.MaxPins(); got > w.npMax {
+			t.Errorf("Industry%d Np_max = %d, want <= %d", w.n, got, w.npMax)
+		}
+		if got := d.MaxWidth(); got != w.wMax {
+			t.Errorf("Industry%d W_max = %d, want %d", w.n, got, w.wMax)
+		}
+		// Net counts land within 30% of the paper's (exact counts depend
+		// on the random width draw).
+		paperNets := map[int]int{1: 3722, 2: 12239, 3: 4402, 4: 3446, 5: 11185, 6: 7278, 7: 4087}[w.n]
+		if got := d.NumNets(); got < paperNets*7/10 || got > paperNets*13/10 {
+			t.Errorf("Industry%d #Net = %d, want within 30%% of %d", w.n, got, paperNets)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Industry(1).Generate()
+	b := Industry(1).Generate()
+	if a.NumNets() != b.NumNets() || a.NumPins() != b.NumPins() {
+		t.Fatal("same spec produced different designs")
+	}
+	for gi := range a.Groups {
+		for bi := range a.Groups[gi].Bits {
+			for pi := range a.Groups[gi].Bits[bi].Pins {
+				if a.Groups[gi].Bits[bi].Pins[pi].Loc != b.Groups[gi].Bits[bi].Pins[pi].Loc {
+					t.Fatalf("pin mismatch at %d/%d/%d", gi, bi, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupsIdentifyIntoFewObjects(t *testing.T) {
+	// The generator builds at most 2 styles (+1 short-sink singleton), so
+	// identification should find <= 4 objects per group.
+	d := Industry(1).Generate()
+	multi := 0
+	for gi := range d.Groups {
+		objs := ident.Partition(gi, &d.Groups[gi])
+		if len(objs) > 4 {
+			t.Fatalf("group %d identified into %d objects", gi, len(objs))
+		}
+		if len(objs) > 1 {
+			multi++
+		}
+	}
+	// TwoStyleFrac 0.5 means roughly half the groups are multi-object.
+	if multi < len(d.Groups)/4 {
+		t.Errorf("only %d of %d groups multi-object; Avg(Reg) would be trivial", multi, len(d.Groups))
+	}
+}
+
+func TestMultipinPreset(t *testing.T) {
+	d := Industry(7).Generate()
+	if d.MaxPins() < 3 {
+		t.Errorf("Industry7 should contain multipin bits, Np_max = %d", d.MaxPins())
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Scale(Industry(2), 0.2)
+	d := s.Generate()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("scaled design invalid: %v", err)
+	}
+	if len(d.Groups) >= 492 {
+		t.Error("scaling did not reduce group count")
+	}
+	if s.W >= 192 {
+		t.Error("scaling did not shrink grid")
+	}
+}
+
+func TestScalePanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scale(Industry(1), 0)
+}
+
+func TestWithExtraPins(t *testing.T) {
+	s := WithExtraPins(Industry(2), 8, 0.5)
+	d := s.Generate()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxPins() < 3 {
+		t.Error("extra pins not inserted")
+	}
+	if d.NumPins() <= Industry(2).Generate().NumPins() {
+		t.Error("pseudo pins should increase total pin count")
+	}
+}
+
+func TestScalabilitySeries(t *testing.T) {
+	series := ScalabilitySeries()
+	if len(series) != 4 {
+		t.Fatalf("series = %d entries, want 4", len(series))
+	}
+	last := series[len(series)-1]
+	if last.MaxPins < 3 {
+		t.Error("enlarged Industry2 should be multipin")
+	}
+}
+
+func TestIndustryPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Industry(8)
+}
+
+func TestShortSinkBitsPresent(t *testing.T) {
+	d := Industry(7).Generate() // ShortSinkFrac 0.1
+	found := false
+	for gi := range d.Groups {
+		g := &d.Groups[gi]
+		if len(g.Bits) < 3 {
+			continue
+		}
+		last := &g.Bits[len(g.Bits)-1]
+		first := &g.Bits[0]
+		if len(last.Pins) == 2 && len(first.Pins) >= 2 {
+			dLast := absInt(last.Pins[1].Loc.X-last.Pins[0].Loc.X) + absInt(last.Pins[1].Loc.Y-last.Pins[0].Loc.Y)
+			dFirst := absInt(first.Pins[1].Loc.X-first.Pins[0].Loc.X) + absInt(first.Pins[1].Loc.Y-first.Pins[0].Loc.Y)
+			if dLast*3 < dFirst {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no short-sink bits generated despite ShortSinkFrac > 0")
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+package benchgen
+
+import "fmt"
+
+// Industry returns the preset spec reproducing the published statistics of
+// benchmark Industry<n> (Table I: #SG, #Net ~ NumGroups*AvgWidth, Np_max,
+// W_max) with a grid sized to match its congestion profile: Industry3,
+// Industry5 and Industry6 are the congested cases on which the paper's ILP
+// hits its time limit; Industry1/2/4/7 are milder. n ranges 1..7.
+func Industry(n int) Spec {
+	switch n {
+	case 1:
+		return Spec{
+			Name: "Industry1", Seed: 101,
+			W: 128, H: 128, NumLayers: 4, EdgeCap: 10,
+			NumGroups: 230, AvgWidth: 16, MaxWidth: 75, MaxPins: 2,
+			TwoStyleFrac: 0.5, MixedDirFrac: 0.02, ShortSinkFrac: 0.05, CenterBias: 0.3, Pitch: 5,
+		}
+	case 2:
+		return Spec{
+			Name: "Industry2", Seed: 102,
+			W: 192, H: 192, NumLayers: 6, EdgeCap: 14,
+			NumGroups: 492, AvgWidth: 25, MaxWidth: 136, MaxPins: 2,
+			TwoStyleFrac: 0.5, MixedDirFrac: 0.025, ShortSinkFrac: 0.03, CenterBias: 0.3, Pitch: 5,
+		}
+	case 3:
+		return Spec{
+			Name: "Industry3", Seed: 103,
+			W: 112, H: 112, NumLayers: 4, EdgeCap: 11,
+			NumGroups: 234, AvgWidth: 19, MaxWidth: 70, MaxPins: 2,
+			TwoStyleFrac: 0.5, MixedDirFrac: 0.06, ShortSinkFrac: 0.05, CenterBias: 0.35, Pitch: 5,
+		}
+	case 4:
+		return Spec{
+			Name: "Industry4", Seed: 104,
+			W: 160, H: 160, NumLayers: 4, EdgeCap: 10,
+			NumGroups: 146, AvgWidth: 24, MaxWidth: 147, MaxPins: 2,
+			TwoStyleFrac: 0.5, MixedDirFrac: 0.045, ShortSinkFrac: 0.05, CenterBias: 0.3, Pitch: 5,
+		}
+	case 5:
+		return Spec{
+			Name: "Industry5", Seed: 105,
+			W: 208, H: 208, NumLayers: 6, EdgeCap: 16,
+			NumGroups: 587, AvgWidth: 19, MaxWidth: 77, MaxPins: 14,
+			MultipinFrac: 0.5, TwoStyleFrac: 0.5, MixedDirFrac: 0.10, ShortSinkFrac: 0.01, CenterBias: 0.3, Pitch: 5,
+		}
+	case 6:
+		return Spec{
+			Name: "Industry6", Seed: 106,
+			W: 288, H: 288, NumLayers: 6, EdgeCap: 10,
+			NumGroups: 409, AvgWidth: 18, MaxWidth: 256, MaxPins: 9,
+			MultipinFrac: 0.45, TwoStyleFrac: 0.5, MixedDirFrac: 0.09, ShortSinkFrac: 0.02, CenterBias: 0.3, Pitch: 5,
+		}
+	case 7:
+		return Spec{
+			Name: "Industry7", Seed: 107,
+			W: 160, H: 160, NumLayers: 6, EdgeCap: 12,
+			NumGroups: 171, AvgWidth: 24, MaxWidth: 147, MaxPins: 7,
+			MultipinFrac: 0.4, TwoStyleFrac: 0.5, MixedDirFrac: 0.04, ShortSinkFrac: 0.1, CenterBias: 0.25, Pitch: 5,
+		}
+	default:
+		panic(fmt.Sprintf("benchgen: no preset Industry%d", n))
+	}
+}
+
+// AllIndustry returns the seven presets in order.
+func AllIndustry() []Spec {
+	out := make([]Spec, 7)
+	for i := range out {
+		out[i] = Industry(i + 1)
+	}
+	return out
+}
+
+// TwoPin returns the two-pin presets (Industry1–4, Fig. 13(a)).
+func TwoPin() []Spec {
+	return []Spec{Industry(1), Industry(2), Industry(3), Industry(4)}
+}
+
+// Multipin returns the multipin presets (Industry5–7, Fig. 13(b)).
+func Multipin() []Spec {
+	return []Spec{Industry(5), Industry(6), Industry(7)}
+}
+
+// ScalabilitySeries returns the Fig. 13(b) series: the multipin presets
+// plus an enlarged Industry2-based benchmark with pseudo pins inserted
+// ("the largest benchmark" in §V-A).
+func ScalabilitySeries() []Spec {
+	series := Multipin()
+	big := WithExtraPins(Industry(2), 8, 0.4)
+	big.Name = "Industry2-mp"
+	series = append(series, big)
+	return series
+}

@@ -1,0 +1,166 @@
+// Package core orchestrates the complete Streak flow of Fig. 2: problem
+// construction (identification + topology generation + candidate
+// expansion), global candidate selection by primal-dual or exact ILP, the
+// post-optimization stage (layer prediction + bottom-up clustering +
+// distance refinement), and metric evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/grid"
+	"repro/internal/hier"
+	"repro/internal/metrics"
+	"repro/internal/pd"
+	"repro/internal/postopt"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// Method selects the global candidate-selection solver.
+type Method int
+
+const (
+	// PrimalDual runs Algorithm 2 (the paper's fast flow).
+	PrimalDual Method = iota
+	// ILP solves formulation (3) exactly (the paper's GUROBI flow).
+	ILP
+	// Hierarchical runs the divide-and-conquer exact flow sketched in the
+	// paper's future work (§VI): per-tile ILPs against residual capacity
+	// plus a greedy sweep.
+	Hierarchical
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case ILP:
+		return "ILP"
+	case Hierarchical:
+		return "Hierarchical-ILP"
+	default:
+		return "Primal-Dual"
+	}
+}
+
+// Options configures a Streak run.
+type Options struct {
+	// Method picks the selection solver. Default PrimalDual.
+	Method Method
+	// Route tunes problem construction.
+	Route route.Options
+	// Post tunes the post-optimization stage.
+	Post postopt.Options
+	// PostOpt enables the post-optimization stage (Table II adds it on
+	// top of the Table I flows).
+	PostOpt bool
+	// Clustering enables bottom-up clustering within post-optimization
+	// (Fig. 14 ablates it).
+	Clustering bool
+	// Refinement enables the distance refinement within post-optimization
+	// (Fig. 15 ablates it).
+	Refinement bool
+	// ILPTimeLimit bounds the exact solve; the paper uses 3600 s.
+	// Zero means no limit.
+	ILPTimeLimit time.Duration
+	// ILPWarmStart primes the exact solver with the primal-dual solution.
+	ILPWarmStart bool
+	// ILPMaxVars guards against over-large linearized models (see
+	// exact.Options).
+	ILPMaxVars int
+	// HierTiles is the tile grid dimension for the Hierarchical method
+	// (default 2).
+	HierTiles int
+	// HierTimePerTile bounds each tile ILP (default 5s).
+	HierTimePerTile time.Duration
+}
+
+// Result carries everything a Streak run produced.
+type Result struct {
+	// Problem is the built selection problem (kept for inspection and for
+	// chaining experiments).
+	Problem *route.Problem
+	// Assignment is the global selection.
+	Assignment route.Assignment
+	// Routing is the final per-bit geometry (after post-optimization when
+	// enabled).
+	Routing *route.Routing
+	// Usage is the final track usage.
+	Usage *grid.Usage
+	// Metrics is the evaluated result row.
+	Metrics metrics.Metrics
+	// TimedOut reports whether the ILP hit its time limit.
+	TimedOut bool
+	// VioBefore is the Vio(dst) count before refinement (Table II's first
+	// column); equal to Metrics.VioDst when refinement is off.
+	VioBefore int
+	// Cluster and Refine carry post-optimization statistics.
+	Cluster postopt.ClusterStats
+	// Refine carries refinement statistics (zero when disabled).
+	Refine postopt.RefineStats
+	// Runtime is the end-to-end wall-clock time (problem build excluded,
+	// matching the paper's solver CPU column).
+	Runtime time.Duration
+}
+
+// Run executes the Streak flow on the design.
+func Run(d *signal.Design, opt Options) (*Result, error) {
+	p, err := route.Build(d, opt.Route)
+	if err != nil {
+		return nil, err
+	}
+	return RunProblem(p, opt)
+}
+
+// RunProblem executes the flow on a pre-built problem, letting callers
+// reuse one problem across solver comparisons.
+func RunProblem(p *route.Problem, opt Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Problem: p}
+
+	switch opt.Method {
+	case PrimalDual:
+		r := pd.Solve(p)
+		res.Assignment = r.Assignment
+	case ILP:
+		eopt := exact.Options{TimeLimit: opt.ILPTimeLimit, MaxVars: opt.ILPMaxVars}
+		if opt.ILPWarmStart {
+			warm := pd.Solve(p)
+			eopt.WarmStart = &warm.Assignment
+		}
+		r, err := exact.Solve(p, eopt)
+		if err != nil {
+			return nil, err
+		}
+		res.Assignment = r.Assignment
+		res.TimedOut = r.TimedOut
+	case Hierarchical:
+		r := hier.Solve(p, hier.Options{Tiles: opt.HierTiles, TimePerTile: opt.HierTimePerTile})
+		res.Assignment = r.Assignment
+		res.TimedOut = r.TilesTimedOut > 0
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", opt.Method)
+	}
+
+	res.Routing = p.ExtractRouting(res.Assignment)
+	res.Usage = res.Routing.UsageOf(p.Grid)
+
+	if opt.PostOpt {
+		if opt.Clustering {
+			res.Cluster = postopt.ClusterAndRoute(p, res.Routing, res.Usage, opt.Post)
+		}
+		res.VioBefore = postopt.CountViolatedGroups(p.Design, res.Routing, opt.Post)
+		if opt.Refinement {
+			res.Refine = postopt.Refine(p, res.Routing, res.Usage, opt.Post)
+		}
+	} else {
+		res.VioBefore = postopt.CountViolatedGroups(p.Design, res.Routing, opt.Post)
+	}
+
+	res.Runtime = time.Since(start)
+	res.Metrics = metrics.Compute(p.Design, res.Routing, res.Usage, opt.Post)
+	res.Metrics.Runtime = res.Runtime
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastCfg runs the harness at minimal scale so the whole test stays quick.
+func fastCfg(out *strings.Builder) Config {
+	return Config{
+		Out:        out,
+		Scale:      0.03,
+		ILPTime:    2 * time.Second,
+		Benchmarks: []int{1, 7},
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(fastCfg(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TABLE I", "Industry1@0.03", "Industry7@0.03", "average", "ratio", "Man.Route", "PD.CPU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+	// Manual column is always 100%.
+	if !strings.Contains(out, "100.00%") {
+		t.Error("manual route column missing 100%")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(fastCfg(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TABLE II", "ILP.VioB", "PD.VioA", "Industry1@0.03"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCongestionMaps(t *testing.T) {
+	var sb strings.Builder
+	if err := CongestionMaps(fastCfg(&sb), 7); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 11") || !strings.Contains(out, "manual design result") ||
+		!strings.Contains(out, "Streak result") {
+		t.Errorf("congestion map output malformed:\n%s", out)
+	}
+	if strings.Count(out, "legend") != 2 {
+		t.Error("expected two heatmaps")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig13(fastCfg(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 13(a)") || !strings.Contains(out, "Fig. 13(b)") {
+		t.Errorf("Fig13 output missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "bench,pins,ilp_cpu_s,ilp_timedout,pd_cpu_s") {
+		t.Error("Fig13 CSV header missing")
+	}
+	// Two-pin series has 4 benches, multipin 4 (incl. enlarged Industry2).
+	if got := strings.Count(out, "\nIndustry"); got < 8 {
+		t.Errorf("Fig13 rows = %d, want >= 8:\n%s", got, out)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig14(fastCfg(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "route_noclus_pct,route_clus_pct") {
+		t.Errorf("Fig14 CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestFig15(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig15(fastCfg(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "vio_norefine,vio_refine") {
+		t.Errorf("Fig15 CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.2 || c.ILPTime != 20*time.Second || len(c.Benchmarks) != 7 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/route"
+)
+
+// Table2 regenerates Table II: the effect of post-optimization (bottom-up
+// clustering + refinement) on top of ILP and primal-dual: Vio(dst) before
+// and after, routability, wirelength, regularity and CPU.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	headers := []string{
+		"ILP.VioB", "ILP.VioA", "ILP.Route", "ILP.WL", "ILP.Reg", "ILP.CPU",
+		"PD.VioB", "PD.VioA", "PD.Route", "PD.WL", "PD.Reg", "PD.CPU",
+	}
+	var rows []report.Row
+	for _, n := range cfg.Benchmarks {
+		b := cfg.design(n)
+		p, err := route.Build(b.d, route.Options{})
+		if err != nil {
+			return err
+		}
+		ilpRes, ilpTimedOut, err := cfg.solveILP(p, true)
+		if err != nil {
+			return err
+		}
+		pdRes, err := cfg.solvePD(p, true)
+		if err != nil {
+			return err
+		}
+		im, pm := ilpRes.Metrics, pdRes.Metrics
+		rows = append(rows, report.Row{
+			Bench: b.d.Name,
+			Cells: []string{
+				fmt.Sprint(ilpRes.VioBefore), fmt.Sprint(im.VioDst),
+				fmt.Sprintf("%.2f%%", im.RouteFrac*100), fmt.Sprintf("%.2f", im.WL/1e5),
+				fmt.Sprintf("%.2f%%", im.AvgReg*100),
+				report.FormatRuntime(ilpRes.Runtime, ilpTimedOut, cfg.ILPTime),
+				fmt.Sprint(pdRes.VioBefore), fmt.Sprint(pm.VioDst),
+				fmt.Sprintf("%.2f%%", pm.RouteFrac*100), fmt.Sprintf("%.2f", pm.WL/1e5),
+				fmt.Sprintf("%.2f%%", pm.AvgReg*100),
+				report.FormatRuntime(pdRes.Runtime, false, 0),
+			},
+		})
+	}
+	report.Table(cfg.Out, fmt.Sprintf("TABLE II: post optimization (scale %.2f)", cfg.Scale), headers, rows)
+	return nil
+}
+
+// CongestionMaps regenerates Fig. 11 (Industry7) or Fig. 12 (Industry6):
+// side-by-side congestion maps of the manual design and the Streak result.
+func CongestionMaps(cfg Config, industryN int) error {
+	cfg = cfg.withDefaults()
+	b := cfg.design(industryN)
+	p, err := route.Build(b.d, route.Options{})
+	if err != nil {
+		return err
+	}
+	man := baseline.Route(p)
+	fmt.Fprintf(cfg.Out, "Fig. %d analogue — %s congestion maps\n", figNumber(industryN), b.d.Name)
+	fmt.Fprintf(cfg.Out, "\n(a) manual design result:\n")
+	report.Heatmap(cfg.Out, man.Usage, 56)
+
+	res, err := cfg.solvePD(p, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\n(b) Streak result:\n")
+	report.Heatmap(cfg.Out, res.Usage, 56)
+	return nil
+}
+
+func figNumber(industryN int) int {
+	if industryN == 7 {
+		return 11
+	}
+	return 12
+}
+
+// Fig13 regenerates the scalability comparison: ILP vs primal-dual CPU
+// seconds against total pin count, for the two-pin benchmarks (a) and the
+// multipin benchmarks including the enlarged Industry2-based case (b).
+func Fig13(cfg Config) error {
+	cfg = cfg.withDefaults()
+
+	emit := func(title string, specs []benchgen.Spec) error {
+		fmt.Fprintln(cfg.Out, title)
+		header := []string{"bench", "pins", "ilp_cpu_s", "ilp_timedout", "pd_cpu_s"}
+		var rows [][]string
+		for _, spec := range specs {
+			if cfg.Scale < 1 {
+				spec = benchgen.Scale(spec, cfg.Scale)
+			}
+			d := spec.Generate()
+			p, err := route.Build(d, route.Options{})
+			if err != nil {
+				return err
+			}
+			ilpRes, timedOut, err := cfg.solveILP(p, false)
+			if err != nil {
+				return err
+			}
+			pdRes, err := cfg.solvePD(p, false)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				d.Name,
+				fmt.Sprint(d.NumPins()),
+				fmt.Sprintf("%.2f", ilpRes.Runtime.Seconds()),
+				fmt.Sprint(timedOut),
+				fmt.Sprintf("%.2f", pdRes.Runtime.Seconds()),
+			})
+		}
+		report.CSV(cfg.Out, header, rows)
+		return nil
+	}
+
+	if err := emit("Fig. 13(a) analogue — two-pin scalability (CSV)", benchgen.TwoPin()); err != nil {
+		return err
+	}
+	return emit("Fig. 13(b) analogue — multipin scalability (CSV)", benchgen.ScalabilitySeries())
+}
+
+// Fig14 regenerates the bottom-up clustering ablation: routability (a) and
+// average regularity (b) of the primal-dual + post flow with and without
+// clustering.
+func Fig14(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "Fig. 14 analogue — bottom-up clustering ablation (CSV)")
+	header := []string{"bench", "route_noclus_pct", "route_clus_pct", "reg_noclus_pct", "reg_clus_pct"}
+	var rows [][]string
+	for _, n := range cfg.Benchmarks {
+		b := cfg.design(n)
+		p, err := route.Build(b.d, route.Options{})
+		if err != nil {
+			return err
+		}
+		with, err := cfg.solvePD(p, true)
+		if err != nil {
+			return err
+		}
+		without, err := core.RunProblem(p, core.Options{
+			Method: core.PrimalDual, PostOpt: true, Clustering: false, Refinement: true,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			b.d.Name,
+			fmt.Sprintf("%.2f", without.Metrics.RouteFrac*100),
+			fmt.Sprintf("%.2f", with.Metrics.RouteFrac*100),
+			fmt.Sprintf("%.2f", without.Metrics.AvgReg*100),
+			fmt.Sprintf("%.2f", with.Metrics.AvgReg*100),
+		})
+	}
+	report.CSV(cfg.Out, header, rows)
+	return nil
+}
+
+// Fig15 regenerates the refinement ablation: Vio(dst) (a) and wirelength
+// (b) of the primal-dual + post flow with and without refinement.
+func Fig15(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "Fig. 15 analogue — post refinement ablation (CSV)")
+	header := []string{"bench", "vio_norefine", "vio_refine", "wl_norefine_1e5", "wl_refine_1e5"}
+	var rows [][]string
+	for _, n := range cfg.Benchmarks {
+		b := cfg.design(n)
+		p, err := route.Build(b.d, route.Options{})
+		if err != nil {
+			return err
+		}
+		with, err := cfg.solvePD(p, true)
+		if err != nil {
+			return err
+		}
+		without, err := core.RunProblem(p, core.Options{
+			Method: core.PrimalDual, PostOpt: true, Clustering: true, Refinement: false,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			b.d.Name,
+			fmt.Sprint(without.Metrics.VioDst),
+			fmt.Sprint(with.Metrics.VioDst),
+			fmt.Sprintf("%.2f", without.Metrics.WL/1e5),
+			fmt.Sprintf("%.2f", with.Metrics.WL/1e5),
+		})
+	}
+	report.CSV(cfg.Out, header, rows)
+	return nil
+}

@@ -1,0 +1,64 @@
+package geom
+
+import "sort"
+
+// HananGrid returns the Hanan grid points of the given pins: every point
+// (x, y) where x is some pin's X coordinate and y is some pin's Y
+// coordinate. Steiner points of an optimal rectilinear Steiner tree can
+// always be chosen from this set (Hanan's theorem), and the paper draws its
+// candidate bending points from it (§III-B1).
+func HananGrid(pins []Point) []Point {
+	xs := make(map[int]bool)
+	ys := make(map[int]bool)
+	for _, p := range pins {
+		xs[p.X] = true
+		ys[p.Y] = true
+	}
+	xl := make([]int, 0, len(xs))
+	for x := range xs {
+		xl = append(xl, x)
+	}
+	yl := make([]int, 0, len(ys))
+	for y := range ys {
+		yl = append(yl, y)
+	}
+	sort.Ints(xl)
+	sort.Ints(yl)
+	out := make([]Point, 0, len(xl)*len(yl))
+	for _, x := range xl {
+		for _, y := range yl {
+			out = append(out, Point{x, y})
+		}
+	}
+	return out
+}
+
+// HananCandidates returns the Hanan grid points that are not pins
+// themselves, i.e. the candidate Steiner/bending points.
+func HananCandidates(pins []Point) []Point {
+	pinSet := make(map[Point]bool, len(pins))
+	for _, p := range pins {
+		pinSet[p] = true
+	}
+	var out []Point
+	for _, p := range HananGrid(pins) {
+		if !pinSet[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DedupPoints returns the distinct points, sorted lexicographically.
+func DedupPoints(pts []Point) []Point {
+	set := make(map[Point]bool, len(pts))
+	for _, p := range pts {
+		set[p] = true
+	}
+	out := make([]Point, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

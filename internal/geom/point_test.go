@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want int
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-2, 5), Pt(1, 1), 7},
+		{Pt(10, 0), Pt(0, 0), 10},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int16) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		return Dist(a, b) == Dist(b, a) && Dist(a, b) >= 0
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(cx), int(cy))
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+	translationInvariant := func(ax, ay, bx, by, dx, dy int16) bool {
+		a, b, d := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(dx), int(dy))
+		return Dist(a.Add(d), b.Add(d)) == Dist(a, b)
+	}
+	if err := quick.Check(translationInvariant, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	pts := []Point{Pt(3, 7), Pt(-1, 2), Pt(5, 5)}
+	r := BBox(pts)
+	if r.Lo != Pt(-1, 2) || r.Hi != Pt(5, 7) {
+		t.Fatalf("BBox = %v-%v", r.Lo, r.Hi)
+	}
+	if r.W() != 6 || r.H() != 5 || r.HalfPerimeter() != 11 {
+		t.Errorf("W=%d H=%d HPWL=%d", r.W(), r.H(), r.HalfPerimeter())
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("BBox does not contain %v", p)
+		}
+	}
+	if r.Contains(Pt(6, 5)) || r.Contains(Pt(0, 1)) {
+		t.Error("BBox contains outside point")
+	}
+}
+
+func TestBBoxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BBox(nil) did not panic")
+		}
+	}()
+	BBox(nil)
+}
+
+func TestBBoxProperty(t *testing.T) {
+	containsAll := func(raw []struct{ X, Y int8 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Pt(int(r.X), int(r.Y))
+		}
+		box := BBox(pts)
+		for _, p := range pts {
+			if !box.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(containsAll, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointLessIsTotalOrder(t *testing.T) {
+	antisym := func(ax, ay, bx, by int16) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{Lo: Pt(0, 0), Hi: Pt(4, 6)}
+	if got := r.Center(); got != Pt(2, 3) {
+		t.Errorf("Center = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package geom
+
+import "fmt"
+
+// Seg is an axis-aligned segment between two G-cell points — the paper's
+// "rectilinear connection" (RC). A Seg is normalized when A.Less(B) or A==B;
+// use Norm to canonicalize. A zero-length Seg (A==B) is permitted and counts
+// as both horizontal and vertical.
+type Seg struct {
+	A, B Point
+}
+
+// S constructs a segment between two points. It panics if the points are
+// not axis-aligned, because diagonal RCs never occur in rectilinear routing
+// and indicate a logic error upstream.
+func S(a, b Point) Seg {
+	if a.X != b.X && a.Y != b.Y {
+		panic(fmt.Sprintf("geom: diagonal segment %v-%v", a, b))
+	}
+	return Seg{A: a, B: b}
+}
+
+// Norm returns the segment with endpoints ordered so that A.Less(B) (or
+// A==B). Normalized segments compare equal iff they cover the same RC.
+func (s Seg) Norm() Seg {
+	if s.B.Less(s.A) {
+		return Seg{A: s.B, B: s.A}
+	}
+	return s
+}
+
+// Horizontal reports whether the segment runs along the X axis.
+// Zero-length segments report true.
+func (s Seg) Horizontal() bool { return s.A.Y == s.B.Y }
+
+// Vertical reports whether the segment runs along the Y axis.
+// Zero-length segments report true.
+func (s Seg) Vertical() bool { return s.A.X == s.B.X }
+
+// Len returns the segment length in G-cells.
+func (s Seg) Len() int { return Dist(s.A, s.B) }
+
+// String renders the segment as "(x,y)-(x,y)".
+func (s Seg) String() string { return s.A.String() + "-" + s.B.String() }
+
+// Contains reports whether point p lies on the segment (inclusive).
+func (s Seg) Contains(p Point) bool {
+	n := s.Norm()
+	if n.Horizontal() {
+		return p.Y == n.A.Y && p.X >= n.A.X && p.X <= n.B.X
+	}
+	return p.X == n.A.X && p.Y >= n.A.Y && p.Y <= n.B.Y
+}
+
+// Translate returns the segment shifted by d.
+func (s Seg) Translate(d Point) Seg {
+	return Seg{A: s.A.Add(d), B: s.B.Add(d)}
+}
+
+// Overlap returns the shared length of two collinear segments, or 0 when
+// they are not collinear or do not overlap. Touching at a single point
+// contributes zero length.
+func Overlap(a, b Seg) int {
+	a, b = a.Norm(), b.Norm()
+	switch {
+	case a.Horizontal() && b.Horizontal() && a.A.Y == b.A.Y:
+		lo := max(a.A.X, b.A.X)
+		hi := min(a.B.X, b.B.X)
+		if hi > lo {
+			return hi - lo
+		}
+	case a.Vertical() && b.Vertical() && a.A.X == b.A.X:
+		lo := max(a.A.Y, b.A.Y)
+		hi := min(a.B.Y, b.B.Y)
+		if hi > lo {
+			return hi - lo
+		}
+	}
+	return 0
+}
+
+// LShape returns the one- or two-segment rectilinear connection between a
+// and b that bends at the corner point (b.X, a.Y) ("lower-L" when a is the
+// horizontal-first endpoint). Zero-length legs are omitted.
+func LShape(a, b Point) []Seg {
+	corner := Point{b.X, a.Y}
+	var out []Seg
+	if a != corner {
+		out = append(out, Seg{A: a, B: corner})
+	}
+	if corner != b {
+		out = append(out, Seg{A: corner, B: b})
+	}
+	return out
+}
+
+// LShapeVia returns the rectilinear connection between a and b bending at
+// the explicit corner point v. It panics if v is not axis-aligned with both
+// endpoints.
+func LShapeVia(a, v, b Point) []Seg {
+	var out []Seg
+	if a != v {
+		out = append(out, S(a, v))
+	}
+	if v != b {
+		out = append(out, S(v, b))
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegBasics(t *testing.T) {
+	s := S(Pt(3, 2), Pt(0, 2))
+	if !s.Horizontal() || s.Vertical() {
+		t.Error("expected horizontal segment")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	n := s.Norm()
+	if n.A != Pt(0, 2) || n.B != Pt(3, 2) {
+		t.Errorf("Norm = %v", n)
+	}
+	v := S(Pt(1, 1), Pt(1, 5))
+	if !v.Vertical() || v.Horizontal() {
+		t.Error("expected vertical segment")
+	}
+	zero := S(Pt(2, 2), Pt(2, 2))
+	if !zero.Horizontal() || !zero.Vertical() || zero.Len() != 0 {
+		t.Error("zero-length segment should be both orientations with Len 0")
+	}
+}
+
+func TestSegDiagonalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diagonal S() did not panic")
+		}
+	}()
+	S(Pt(0, 0), Pt(1, 1))
+}
+
+func TestSegContains(t *testing.T) {
+	s := S(Pt(0, 3), Pt(5, 3))
+	for x := 0; x <= 5; x++ {
+		if !s.Contains(Pt(x, 3)) {
+			t.Errorf("should contain (%d,3)", x)
+		}
+	}
+	if s.Contains(Pt(6, 3)) || s.Contains(Pt(-1, 3)) || s.Contains(Pt(2, 4)) {
+		t.Error("contains point off segment")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Seg
+		want int
+	}{
+		{S(Pt(0, 0), Pt(5, 0)), S(Pt(3, 0), Pt(8, 0)), 2},
+		{S(Pt(0, 0), Pt(5, 0)), S(Pt(5, 0), Pt(8, 0)), 0},  // touch only
+		{S(Pt(0, 0), Pt(5, 0)), S(Pt(0, 1), Pt(5, 1)), 0},  // parallel rows
+		{S(Pt(0, 0), Pt(0, 5)), S(Pt(0, 2), Pt(0, 3)), 1},  // nested vertical
+		{S(Pt(0, 0), Pt(5, 0)), S(Pt(2, -1), Pt(2, 4)), 0}, // perpendicular
+	}
+	for _, c := range cases {
+		if got := Overlap(c.a, c.b); got != c.want {
+			t.Errorf("Overlap(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlapSymmetric(t *testing.T) {
+	f := func(ax, bx, cx, dx, y int8, vertical bool) bool {
+		var a, b Seg
+		if vertical {
+			a = S(Pt(int(y), int(ax)), Pt(int(y), int(bx)))
+			b = S(Pt(int(y), int(cx)), Pt(int(y), int(dx)))
+		} else {
+			a = S(Pt(int(ax), int(y)), Pt(int(bx), int(y)))
+			b = S(Pt(int(cx), int(y)), Pt(int(dx), int(y)))
+		}
+		o := Overlap(a, b)
+		return o == Overlap(b, a) && o >= 0 && o <= min(a.Len(), b.Len())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLShape(t *testing.T) {
+	segs := LShape(Pt(0, 0), Pt(3, 4))
+	if len(segs) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(segs))
+	}
+	tr := NewTree(segs...)
+	if tr.WireLength() != 7 {
+		t.Errorf("L-shape wirelength = %d, want 7", tr.WireLength())
+	}
+	if !tr.Connected([]Point{Pt(0, 0), Pt(3, 4)}) {
+		t.Error("L-shape not connected")
+	}
+	// Degenerate: collinear points produce a single segment.
+	if got := LShape(Pt(0, 0), Pt(5, 0)); len(got) != 1 {
+		t.Errorf("collinear L-shape = %v", got)
+	}
+	if got := LShape(Pt(2, 2), Pt(2, 2)); len(got) != 0 {
+		t.Errorf("zero L-shape = %v", got)
+	}
+}
+
+func TestLShapeVia(t *testing.T) {
+	segs := LShapeVia(Pt(0, 0), Pt(0, 4), Pt(3, 4))
+	tr := NewTree(segs...)
+	if tr.WireLength() != 7 {
+		t.Errorf("wirelength = %d", tr.WireLength())
+	}
+	if tr.Bends() != 1 {
+		t.Errorf("bends = %d, want 1", tr.Bends())
+	}
+}
+
+func TestLShapeProperty(t *testing.T) {
+	// Any L-shape has wirelength exactly the Manhattan distance.
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		tr := NewTree(LShape(a, b)...)
+		return tr.WireLength() == Dist(a, b) && tr.Connected([]Point{a, b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

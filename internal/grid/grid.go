@@ -1,0 +1,216 @@
+// Package grid models the 3-D global routing grid used by Streak: each
+// metal layer is divided into rectangular G-cells; edges between adjacent
+// cells carry routing tracks with per-edge capacities. Layers are
+// unidirectional: a horizontal layer only carries horizontal wires and a
+// vertical layer only vertical wires, matching §II-B of the paper.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Dir is a layer's preferred (and only) routing direction.
+type Dir uint8
+
+const (
+	// Horizontal layers route along the X axis.
+	Horizontal Dir = iota
+	// Vertical layers route along the Y axis.
+	Vertical
+)
+
+// String returns "H" or "V".
+func (d Dir) String() string {
+	if d == Horizontal {
+		return "H"
+	}
+	return "V"
+}
+
+// Layer describes one unidirectional metal layer.
+type Layer struct {
+	// Name is a human-readable layer name such as "M2".
+	Name string
+	// Dir is the routing direction of every track on the layer.
+	Dir Dir
+	// Cap is the default per-edge track capacity.
+	Cap int
+}
+
+// Grid is a W x H x len(Layers) G-cell routing grid with per-edge
+// capacities. The zero value is not usable; call New.
+type Grid struct {
+	// W and H are the grid dimensions in G-cells.
+	W, H int
+	// Layers lists the metal stack, bottom-up.
+	Layers []Layer
+
+	// caps[l] holds the remaining-capacity-independent base capacity for
+	// every edge on layer l, indexed by EdgeIndex.
+	caps [][]int32
+}
+
+// New creates a grid with every edge set to its layer's default capacity.
+// It panics on non-positive dimensions or an empty layer stack, which are
+// always caller bugs.
+func New(w, h int, layers []Layer) *Grid {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("grid: dimensions %dx%d too small", w, h))
+	}
+	if len(layers) == 0 {
+		panic("grid: no layers")
+	}
+	g := &Grid{W: w, H: h, Layers: append([]Layer(nil), layers...)}
+	g.caps = make([][]int32, len(layers))
+	for l, layer := range layers {
+		n := g.EdgeCount(l)
+		g.caps[l] = make([]int32, n)
+		for i := range g.caps[l] {
+			g.caps[l][i] = int32(layer.Cap)
+		}
+	}
+	return g
+}
+
+// DefaultLayers returns a typical 10 nm-style stack of n alternating
+// unidirectional layers (H, V, H, V, ...) each with capacity cap.
+// n must be at least 2 so both directions are routable.
+func DefaultLayers(n, cap int) []Layer {
+	if n < 2 {
+		panic("grid: need at least 2 layers")
+	}
+	layers := make([]Layer, n)
+	for i := range layers {
+		d := Horizontal
+		if i%2 == 1 {
+			d = Vertical
+		}
+		layers[i] = Layer{Name: fmt.Sprintf("M%d", i+2), Dir: d, Cap: cap}
+	}
+	return layers
+}
+
+// HLayers returns the indices of horizontal layers, bottom-up.
+func (g *Grid) HLayers() []int { return g.layersOf(Horizontal) }
+
+// VLayers returns the indices of vertical layers, bottom-up.
+func (g *Grid) VLayers() []int { return g.layersOf(Vertical) }
+
+func (g *Grid) layersOf(d Dir) []int {
+	var out []int
+	for i, l := range g.Layers {
+		if l.Dir == d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of routing edges on layer l.
+func (g *Grid) EdgeCount(l int) int {
+	if g.Layers[l].Dir == Horizontal {
+		return (g.W - 1) * g.H
+	}
+	return g.W * (g.H - 1)
+}
+
+// EdgeIndex returns the dense index of the edge leaving cell (x, y) in the
+// layer's routing direction: for a horizontal layer the edge
+// (x,y)-(x+1,y); for a vertical layer the edge (x,y)-(x,y+1).
+// It panics on out-of-range coordinates.
+func (g *Grid) EdgeIndex(l, x, y int) int {
+	if g.Layers[l].Dir == Horizontal {
+		if x < 0 || x >= g.W-1 || y < 0 || y >= g.H {
+			panic(fmt.Sprintf("grid: horizontal edge (%d,%d) out of range on layer %d", x, y, l))
+		}
+		return y*(g.W-1) + x
+	}
+	if x < 0 || x >= g.W || y < 0 || y >= g.H-1 {
+		panic(fmt.Sprintf("grid: vertical edge (%d,%d) out of range on layer %d", x, y, l))
+	}
+	return y*g.W + x
+}
+
+// EdgeCell returns the (x, y) cell whose outgoing edge has the given dense
+// index on layer l — the inverse of EdgeIndex.
+func (g *Grid) EdgeCell(l, idx int) (x, y int) {
+	if g.Layers[l].Dir == Horizontal {
+		return idx % (g.W - 1), idx / (g.W - 1)
+	}
+	return idx % g.W, idx / g.W
+}
+
+// Cap returns the base capacity of edge (x, y) on layer l.
+func (g *Grid) Cap(l, x, y int) int {
+	return int(g.caps[l][g.EdgeIndex(l, x, y)])
+}
+
+// SetCap overrides the base capacity of a single edge.
+func (g *Grid) SetCap(l, x, y, c int) {
+	g.caps[l][g.EdgeIndex(l, x, y)] = int32(c)
+}
+
+// SetRegionCap sets the capacity of every edge on layer l whose source cell
+// lies inside r (inclusive) — used to model blockages and congested macros.
+func (g *Grid) SetRegionCap(l int, r geom.Rect, c int) {
+	for y := max(0, r.Lo.Y); y <= min(g.H-1, r.Hi.Y); y++ {
+		for x := max(0, r.Lo.X); x <= min(g.W-1, r.Hi.X); x++ {
+			if g.Layers[l].Dir == Horizontal && x < g.W-1 {
+				g.caps[l][g.EdgeIndex(l, x, y)] = int32(c)
+			}
+			if g.Layers[l].Dir == Vertical && y < g.H-1 {
+				g.caps[l][g.EdgeIndex(l, x, y)] = int32(c)
+			}
+		}
+	}
+}
+
+// InBounds reports whether the cell (x, y) lies on the grid.
+func (g *Grid) InBounds(x, y int) bool {
+	return x >= 0 && x < g.W && y >= 0 && y < g.H
+}
+
+// ClampPoint clamps p to the grid.
+func (g *Grid) ClampPoint(p geom.Point) geom.Point {
+	return geom.Pt(min(max(p.X, 0), g.W-1), min(max(p.Y, 0), g.H-1))
+}
+
+// SegFits reports whether the segment's orientation matches layer l's
+// direction and the segment stays in bounds. Zero-length segments fit any
+// layer.
+func (g *Grid) SegFits(l int, s geom.Seg) bool {
+	n := s.Norm()
+	if !g.InBounds(n.A.X, n.A.Y) || !g.InBounds(n.B.X, n.B.Y) {
+		return false
+	}
+	if n.Len() == 0 {
+		return true
+	}
+	if g.Layers[l].Dir == Horizontal {
+		return n.Horizontal()
+	}
+	return n.Vertical()
+}
+
+// SegEdges calls fn for every edge index the segment occupies on layer l.
+// It panics if the segment does not fit the layer (orientation or bounds).
+func (g *Grid) SegEdges(l int, s geom.Seg, fn func(idx int)) {
+	n := s.Norm()
+	if !g.SegFits(l, n) {
+		panic(fmt.Sprintf("grid: segment %v does not fit layer %d (%s)", s, l, g.Layers[l].Dir))
+	}
+	if n.Len() == 0 {
+		return
+	}
+	if n.Horizontal() {
+		for x := n.A.X; x < n.B.X; x++ {
+			fn(g.EdgeIndex(l, x, n.A.Y))
+		}
+		return
+	}
+	for y := n.A.Y; y < n.B.Y; y++ {
+		fn(g.EdgeIndex(l, n.A.X, y))
+	}
+}

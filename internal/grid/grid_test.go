@@ -1,0 +1,247 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func testGrid() *Grid {
+	return New(8, 6, DefaultLayers(4, 3))
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(1, 5, DefaultLayers(2, 1)) },
+		func() { New(5, 1, DefaultLayers(2, 1)) },
+		func() { New(5, 5, nil) },
+		func() { DefaultLayers(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaultLayers(t *testing.T) {
+	layers := DefaultLayers(5, 7)
+	if len(layers) != 5 {
+		t.Fatalf("len = %d", len(layers))
+	}
+	for i, l := range layers {
+		wantDir := Horizontal
+		if i%2 == 1 {
+			wantDir = Vertical
+		}
+		if l.Dir != wantDir || l.Cap != 7 {
+			t.Errorf("layer %d = %+v", i, l)
+		}
+	}
+	g := New(4, 4, layers)
+	if got := g.HLayers(); len(got) != 3 {
+		t.Errorf("HLayers = %v", got)
+	}
+	if got := g.VLayers(); len(got) != 2 {
+		t.Errorf("VLayers = %v", got)
+	}
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	g := testGrid()
+	for l := range g.Layers {
+		n := g.EdgeCount(l)
+		seen := make(map[int]bool)
+		maxX, maxY := g.W-1, g.H
+		if g.Layers[l].Dir == Vertical {
+			maxX, maxY = g.W, g.H-1
+		}
+		for y := 0; y < maxY; y++ {
+			for x := 0; x < maxX; x++ {
+				idx := g.EdgeIndex(l, x, y)
+				if idx < 0 || idx >= n {
+					t.Fatalf("index %d out of range [0,%d)", idx, n)
+				}
+				if seen[idx] {
+					t.Fatalf("duplicate index %d", idx)
+				}
+				seen[idx] = true
+				gx, gy := g.EdgeCell(l, idx)
+				if gx != x || gy != y {
+					t.Fatalf("EdgeCell(%d) = (%d,%d), want (%d,%d)", idx, gx, gy, x, y)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("layer %d covered %d of %d edges", l, len(seen), n)
+		}
+	}
+}
+
+func TestEdgeIndexPanicsOutOfRange(t *testing.T) {
+	g := testGrid()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.EdgeIndex(0, g.W-1, 0) // horizontal edge source must be < W-1
+}
+
+func TestCapAndRegion(t *testing.T) {
+	g := testGrid()
+	if g.Cap(0, 2, 2) != 3 {
+		t.Fatalf("default cap = %d", g.Cap(0, 2, 2))
+	}
+	g.SetCap(0, 2, 2, 9)
+	if g.Cap(0, 2, 2) != 9 {
+		t.Fatal("SetCap did not take")
+	}
+	g.SetRegionCap(0, geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(3, 3)}, 0)
+	for y := 0; y <= 3; y++ {
+		for x := 0; x <= 3 && x < g.W-1; x++ {
+			if g.Cap(0, x, y) != 0 {
+				t.Errorf("edge (%d,%d) cap = %d, want 0", x, y, g.Cap(0, x, y))
+			}
+		}
+	}
+	// Region clamps at grid boundary without panicking.
+	g.SetRegionCap(1, geom.Rect{Lo: geom.Pt(-5, -5), Hi: geom.Pt(50, 50)}, 1)
+}
+
+func TestSegFits(t *testing.T) {
+	g := testGrid()
+	h := geom.S(geom.Pt(0, 2), geom.Pt(5, 2))
+	v := geom.S(geom.Pt(3, 0), geom.Pt(3, 4))
+	if !g.SegFits(0, h) || g.SegFits(0, v) {
+		t.Error("layer 0 is horizontal")
+	}
+	if !g.SegFits(1, v) || g.SegFits(1, h) {
+		t.Error("layer 1 is vertical")
+	}
+	out := geom.S(geom.Pt(0, 0), geom.Pt(20, 0))
+	if g.SegFits(0, out) {
+		t.Error("out-of-bounds segment fits")
+	}
+	zero := geom.S(geom.Pt(2, 2), geom.Pt(2, 2))
+	if !g.SegFits(0, zero) || !g.SegFits(1, zero) {
+		t.Error("zero segment should fit both directions")
+	}
+}
+
+func TestSegEdges(t *testing.T) {
+	g := testGrid()
+	var idxs []int
+	g.SegEdges(0, geom.S(geom.Pt(1, 2), geom.Pt(4, 2)), func(i int) { idxs = append(idxs, i) })
+	if len(idxs) != 3 {
+		t.Fatalf("edges = %v", idxs)
+	}
+	for k, i := range idxs {
+		x, y := g.EdgeCell(0, i)
+		if y != 2 || x != 1+k {
+			t.Errorf("edge %d = (%d,%d)", k, x, y)
+		}
+	}
+	// Reversed segment covers the same edges.
+	var rev []int
+	g.SegEdges(0, geom.S(geom.Pt(4, 2), geom.Pt(1, 2)), func(i int) { rev = append(rev, i) })
+	if len(rev) != len(idxs) {
+		t.Error("reversed segment covers different edges")
+	}
+}
+
+func TestUsageBasics(t *testing.T) {
+	g := testGrid()
+	u := NewUsage(g)
+	s := geom.S(geom.Pt(0, 1), geom.Pt(4, 1))
+	if !u.SegFits(0, s, 3) {
+		t.Fatal("empty grid should fit 3 tracks")
+	}
+	if u.SegFits(0, s, 4) {
+		t.Fatal("capacity is 3; 4 should not fit")
+	}
+	u.AddSeg(0, s, 2)
+	if u.TotalUse() != 8 {
+		t.Errorf("TotalUse = %d, want 8", u.TotalUse())
+	}
+	if !u.SegFits(0, s, 1) || u.SegFits(0, s, 2) {
+		t.Error("remaining capacity should be exactly 1")
+	}
+	if u.Overflow() != 0 {
+		t.Error("no overflow expected")
+	}
+	u.AddSeg(0, s, 2)
+	if u.Overflow() != 4 || u.OverflowEdges() != 4 {
+		t.Errorf("Overflow = %d edges=%d, want 4/4", u.Overflow(), u.OverflowEdges())
+	}
+	u.AddSeg(0, s, -4)
+	if u.TotalUse() != 0 {
+		t.Error("release did not restore zero usage")
+	}
+}
+
+func TestUsageUnderflowPanics(t *testing.T) {
+	u := NewUsage(testGrid())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected underflow panic")
+		}
+	}()
+	u.Add(0, 0, -1)
+}
+
+func TestUsageClone(t *testing.T) {
+	u := NewUsage(testGrid())
+	u.Add(0, 3, 2)
+	c := u.Clone()
+	c.Add(0, 3, 1)
+	if u.Use(0, 3) != 2 || c.Use(0, 3) != 3 {
+		t.Error("clone is not independent")
+	}
+}
+
+func TestCellCongestion(t *testing.T) {
+	g := testGrid()
+	u := NewUsage(g)
+	u.AddSeg(0, geom.S(geom.Pt(2, 3), geom.Pt(4, 3)), 3) // exactly full
+	m := u.CellCongestion()
+	if m[3][2] != 1000 || m[3][3] != 1000 || m[3][4] != 1000 {
+		t.Errorf("congestion row = %v", m[3])
+	}
+	if m[0][0] != 0 {
+		t.Error("untouched cell should be 0")
+	}
+	// Blocked edge carrying wires shows > 1000.
+	g.SetCap(1, 1, 1, 0)
+	u.AddSeg(1, geom.S(geom.Pt(1, 1), geom.Pt(1, 2)), 1)
+	m = u.CellCongestion()
+	if m[1][1] <= 1000 {
+		t.Errorf("blocked-edge congestion = %d", m[1][1])
+	}
+}
+
+func TestUsageConservationProperty(t *testing.T) {
+	g := testGrid()
+	f := func(x1, y1, len1 uint8, delta uint8) bool {
+		u := NewUsage(g)
+		x := int(x1) % (g.W - 1)
+		y := int(y1) % g.H
+		l := 1 + int(len1)%(g.W-1-x)
+		d := 1 + int(delta)%4
+		s := geom.S(geom.Pt(x, y), geom.Pt(x+l, y))
+		u.AddSeg(0, s, d)
+		if u.TotalUse() != l*d {
+			return false
+		}
+		u.AddSeg(0, s, -d)
+		return u.TotalUse() == 0 && u.Overflow() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Usage tracks the number of tracks in use on every edge of a Grid. It is
+// the mutable routing state layered over the immutable base capacities.
+type Usage struct {
+	g   *Grid
+	use [][]int32
+}
+
+// NewUsage creates an all-zero usage tracker for g.
+func NewUsage(g *Grid) *Usage {
+	u := &Usage{g: g, use: make([][]int32, len(g.Layers))}
+	for l := range g.Layers {
+		u.use[l] = make([]int32, g.EdgeCount(l))
+	}
+	return u
+}
+
+// Grid returns the grid this usage tracks.
+func (u *Usage) Grid() *Grid { return u.g }
+
+// Clone returns an independent copy of the usage state.
+func (u *Usage) Clone() *Usage {
+	c := &Usage{g: u.g, use: make([][]int32, len(u.use))}
+	for l := range u.use {
+		c.use[l] = append([]int32(nil), u.use[l]...)
+	}
+	return c
+}
+
+// Use returns the tracks in use on edge idx of layer l.
+func (u *Usage) Use(l, idx int) int { return int(u.use[l][idx]) }
+
+// Avail returns the remaining tracks on edge idx of layer l. Negative when
+// the edge is overflowed.
+func (u *Usage) Avail(l, idx int) int {
+	return int(u.g.caps[l][idx] - u.use[l][idx])
+}
+
+// Add adjusts the usage on edge idx of layer l by delta (may be negative
+// to release tracks). It panics if usage would go negative, which means a
+// release without a matching reservation.
+func (u *Usage) Add(l, idx, delta int) {
+	v := u.use[l][idx] + int32(delta)
+	if v < 0 {
+		panic(fmt.Sprintf("grid: usage underflow on layer %d edge %d", l, idx))
+	}
+	u.use[l][idx] = v
+}
+
+// AddSeg adds delta tracks along every edge the segment covers on layer l.
+func (u *Usage) AddSeg(l int, s geom.Seg, delta int) {
+	u.g.SegEdges(l, s, func(idx int) { u.Add(l, idx, delta) })
+}
+
+// SegFits reports whether the segment can take `need` additional tracks on
+// layer l without overflowing any edge it covers.
+func (u *Usage) SegFits(l int, s geom.Seg, need int) bool {
+	if !u.g.SegFits(l, s) {
+		return false
+	}
+	ok := true
+	u.g.SegEdges(l, s, func(idx int) {
+		if u.Avail(l, idx) < need {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Overflow returns the total overflow (usage beyond capacity, summed over
+// all edges and layers).
+func (u *Usage) Overflow() int {
+	total := 0
+	for l := range u.use {
+		for idx, v := range u.use[l] {
+			if over := int(v) - int(u.g.caps[l][idx]); over > 0 {
+				total += over
+			}
+		}
+	}
+	return total
+}
+
+// OverflowEdges returns the number of edges whose usage exceeds capacity.
+func (u *Usage) OverflowEdges() int {
+	n := 0
+	for l := range u.use {
+		for idx, v := range u.use[l] {
+			if int(v) > int(u.g.caps[l][idx]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalUse returns the total number of used edge-tracks across all layers,
+// i.e. the routed wirelength in G-cell edge units.
+func (u *Usage) TotalUse() int {
+	total := 0
+	for l := range u.use {
+		for _, v := range u.use[l] {
+			total += int(v)
+		}
+	}
+	return total
+}
+
+// CellCongestion returns a 2-D map of congestion per cell: for each cell the
+// maximum use/capacity ratio over the incident edges of all layers, in
+// per-mille (1000 = exactly full). Cells beyond 1000 are overflowed. This is
+// the data behind the paper's congestion heatmaps (Figs. 11 and 12).
+func (u *Usage) CellCongestion() [][]int {
+	m := make([][]int, u.g.H)
+	for y := range m {
+		m[y] = make([]int, u.g.W)
+	}
+	note := func(x, y, ratio int) {
+		if ratio > m[y][x] {
+			m[y][x] = ratio
+		}
+	}
+	for l, layer := range u.g.Layers {
+		for idx, v := range u.use[l] {
+			cap := int(u.g.caps[l][idx])
+			var ratio int
+			switch {
+			case cap > 0:
+				ratio = int(v) * 1000 / cap
+			case v > 0:
+				ratio = 2000 // wires through a blocked edge
+			}
+			x, y := u.g.EdgeCell(l, idx)
+			note(x, y, ratio)
+			if layer.Dir == Horizontal {
+				note(x+1, y, ratio)
+			} else {
+				note(x, y+1, ratio)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+// Package ident implements Streak's identification stage (§III-A): it
+// partitions each signal group into routing objects such that every bit in
+// an object has the same similarity vector for every pin, which guarantees
+// an equivalent topology exists for all of them. The partition is
+// hierarchical, as in Fig. 5(b): bits are first split by driver SV (cheap),
+// then by the SVs of the remaining pins, so dissimilar bits are separated
+// early without computing every pin's vector against every other bit.
+package ident
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// Object is one routing object: a maximal set of bits of a group that can
+// share an equivalent topology. Pins of every member bit map 1:1 onto the
+// pins of the representative bit.
+type Object struct {
+	// GroupIdx is the index of the owning group in the design.
+	GroupIdx int
+	// BitIdx lists the member bits as indices into the group's Bits.
+	BitIdx []int
+	// Rep is the position inside BitIdx of the representative bit (the one
+	// whose driver is closest to the object's pin bounding-box center, per
+	// §III-B1 "a bit in the center region").
+	Rep int
+	// PinMap[k][i] gives, for member k, the pin index in that bit which
+	// corresponds to pin i of the representative bit.
+	PinMap [][]int
+}
+
+// RepBit returns the representative bit of the object within the group.
+func (o *Object) RepBit(g *signal.Group) *signal.Bit {
+	return &g.Bits[o.BitIdx[o.Rep]]
+}
+
+// Bits returns the member bits of the object in order.
+func (o *Object) Bits(g *signal.Group) []*signal.Bit {
+	out := make([]*signal.Bit, len(o.BitIdx))
+	for i, bi := range o.BitIdx {
+		out[i] = &g.Bits[bi]
+	}
+	return out
+}
+
+// signature produces the canonical isomorphism key of a bit: its pin count,
+// the driver SV, and the sorted SVs of all pins. Bits are topologically
+// equivalent candidates iff their signatures match.
+func signature(b *signal.Bit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d|d%s|", len(b.Pins), b.DriverSV())
+	svs := make([]string, 0, len(b.Pins))
+	for i := range b.Pins {
+		svs = append(svs, b.PinSV(i).String())
+	}
+	sort.Strings(svs)
+	sb.WriteString(strings.Join(svs, ";"))
+	return sb.String()
+}
+
+// Partition splits the group into routing objects. Bits with identical
+// per-pin similarity vectors land in the same object; each object carries a
+// representative bit and per-bit pin mappings. The order of objects is
+// deterministic (by first member bit index).
+func Partition(groupIdx int, g *signal.Group) []Object {
+	// Level 1: split by driver SV (the middle, blue nodes of Fig. 5(b)).
+	byDriver := make(map[signal.SV][]int)
+	for bi := range g.Bits {
+		sv := g.Bits[bi].DriverSV()
+		byDriver[sv] = append(byDriver[sv], bi)
+	}
+	// Level 2: within a driver class, split by the full pin-SV signature
+	// (the gray leaf nodes). Only bits that already share a driver SV reach
+	// this more expensive comparison.
+	bySig := make(map[string][]int)
+	for _, members := range byDriver {
+		for _, bi := range members {
+			sig := signature(&g.Bits[bi])
+			bySig[sig] = append(bySig[sig], bi)
+		}
+	}
+	sigs := make([]string, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return bySig[sigs[i]][0] < bySig[sigs[j]][0] })
+
+	var out []Object
+	for _, s := range sigs {
+		members := bySig[s]
+		sort.Ints(members)
+		o := Object{GroupIdx: groupIdx, BitIdx: members}
+		o.Rep = centerRep(g, members)
+		o.PinMap = buildPinMaps(g, members, o.Rep)
+		out = append(out, o)
+	}
+	return out
+}
+
+// PartitionDesign partitions every group of the design and returns the
+// objects in group order.
+func PartitionDesign(d *signal.Design) []Object {
+	var out []Object
+	for gi := range d.Groups {
+		out = append(out, Partition(gi, &d.Groups[gi])...)
+	}
+	return out
+}
+
+// centerRep picks the member whose driver is closest to the center of the
+// object's pin bounding box.
+func centerRep(g *signal.Group, members []int) int {
+	var pts []geom.Point
+	for _, bi := range members {
+		pts = append(pts, g.Bits[bi].PinLocs()...)
+	}
+	c := geom.BBox(pts).Center()
+	best, bestDist := 0, int(^uint(0)>>1)
+	for k, bi := range members {
+		if d := geom.Dist(g.Bits[bi].DriverLoc(), c); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// canonicalPinOrder returns the bit's pin indices sorted by (SV, offset
+// from driver). Pins with equal SVs are disambiguated by their relative
+// offset, making cross-bit mapping deterministic and consistent.
+func canonicalPinOrder(b *signal.Bit) []int {
+	idx := make([]int, len(b.Pins))
+	keys := make([]string, len(b.Pins))
+	drv := b.DriverLoc()
+	for i := range idx {
+		idx[i] = i
+		off := b.Pins[i].Loc.Sub(drv)
+		keys[i] = fmt.Sprintf("%s|%08d|%08d", b.PinSV(i), off.X+1<<20, off.Y+1<<20)
+	}
+	sort.Slice(idx, func(a, c int) bool { return keys[idx[a]] < keys[idx[c]] })
+	return idx
+}
+
+// buildPinMaps maps each member bit's pins onto the representative's pins.
+// Because all members share the same SV signature, sorting both pin lists
+// by canonical order aligns corresponding pins positionally.
+func buildPinMaps(g *signal.Group, members []int, rep int) [][]int {
+	repOrder := canonicalPinOrder(&g.Bits[members[rep]])
+	maps := make([][]int, len(members))
+	for k, bi := range members {
+		order := canonicalPinOrder(&g.Bits[bi])
+		m := make([]int, len(order))
+		for pos, repPin := range repOrder {
+			m[repPin] = order[pos]
+		}
+		maps[k] = m
+	}
+	return maps
+}

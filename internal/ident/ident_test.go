@@ -1,0 +1,174 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// twoStyleGroup reproduces the Fig. 3(a) situation: a group with two
+// routing styles — bits driving a sink to the east, and bits driving a sink
+// to the northeast.
+func twoStyleGroup() signal.Group {
+	g := signal.Group{Name: "g"}
+	for i := 0; i < 3; i++ {
+		g.Bits = append(g.Bits, signal.Bit{
+			Name: "east", Driver: 0,
+			Pins: []signal.Pin{{Loc: geom.Pt(0, i)}, {Loc: geom.Pt(8, i)}},
+		})
+	}
+	for i := 0; i < 2; i++ {
+		g.Bits = append(g.Bits, signal.Bit{
+			Name: "ne", Driver: 0,
+			Pins: []signal.Pin{{Loc: geom.Pt(0, 10+i)}, {Loc: geom.Pt(8, 14+i)}},
+		})
+	}
+	return g
+}
+
+func TestPartitionTwoStyles(t *testing.T) {
+	g := twoStyleGroup()
+	objs := Partition(0, &g)
+	if len(objs) != 2 {
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+	if len(objs[0].BitIdx) != 3 || len(objs[1].BitIdx) != 2 {
+		t.Errorf("object sizes = %d,%d", len(objs[0].BitIdx), len(objs[1].BitIdx))
+	}
+	// Every member of an object shares the driver SV.
+	for _, o := range objs {
+		want := g.Bits[o.BitIdx[0]].DriverSV()
+		for _, bi := range o.BitIdx {
+			if g.Bits[bi].DriverSV() != want {
+				t.Errorf("bit %d driver SV differs within object", bi)
+			}
+		}
+	}
+}
+
+func TestPartitionSingletons(t *testing.T) {
+	// Bits with genuinely different shapes each get their own object.
+	g := signal.Group{Bits: []signal.Bit{
+		{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(0, 0)}, {Loc: geom.Pt(5, 0)}}},
+		{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(0, 1)}, {Loc: geom.Pt(0, 6)}}},
+		{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(0, 2)}, {Loc: geom.Pt(5, 2)}, {Loc: geom.Pt(5, 7)}}},
+	}}
+	objs := Partition(0, &g)
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+}
+
+func TestPartitionCoversAllBitsExactlyOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := signal.Group{}
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			np := 2 + r.Intn(4)
+			b := signal.Bit{Driver: 0}
+			base := geom.Pt(r.Intn(10), r.Intn(10))
+			b.Pins = append(b.Pins, signal.Pin{Loc: base})
+			for j := 1; j < np; j++ {
+				b.Pins = append(b.Pins, signal.Pin{Loc: base.Add(geom.Pt(r.Intn(9)-4, r.Intn(9)-4))})
+			}
+			g.Bits = append(g.Bits, b)
+		}
+		objs := Partition(0, &g)
+		seen := map[int]int{}
+		for _, o := range objs {
+			for _, bi := range o.BitIdx {
+				seen[bi]++
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: covered %d of %d bits", trial, len(seen), n)
+		}
+		for bi, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: bit %d in %d objects", trial, bi, c)
+			}
+		}
+	}
+}
+
+func TestPinMapsAreValidPermutations(t *testing.T) {
+	g := twoStyleGroup()
+	objs := Partition(0, &g)
+	for oi, o := range objs {
+		rep := o.RepBit(&g)
+		for k, bi := range o.BitIdx {
+			m := o.PinMap[k]
+			if len(m) != len(rep.Pins) {
+				t.Fatalf("object %d member %d: map len %d, want %d", oi, k, len(m), len(rep.Pins))
+			}
+			used := map[int]bool{}
+			for repPin, pin := range m {
+				if pin < 0 || pin >= len(g.Bits[bi].Pins) {
+					t.Fatalf("object %d: mapped pin %d out of range", oi, pin)
+				}
+				if used[pin] {
+					t.Fatalf("object %d: pin %d mapped twice", oi, pin)
+				}
+				used[pin] = true
+				// Mapped pins share the same similarity vector.
+				if rep.PinSV(repPin) != g.Bits[bi].PinSV(pin) {
+					t.Fatalf("object %d: mapped pins have different SVs", oi)
+				}
+			}
+		}
+	}
+}
+
+func TestPinMapDriverToDriver(t *testing.T) {
+	g := twoStyleGroup()
+	for _, o := range Partition(0, &g) {
+		rep := o.RepBit(&g)
+		for k, bi := range o.BitIdx {
+			if got := o.PinMap[k][rep.Driver]; got != g.Bits[bi].Driver {
+				t.Errorf("driver mapped to pin %d, want driver %d", got, g.Bits[bi].Driver)
+			}
+		}
+	}
+}
+
+func TestRepIsCentral(t *testing.T) {
+	g := twoStyleGroup()
+	objs := Partition(0, &g)
+	o := objs[0] // three east bits at y = 0,1,2; center bit is y=1 (index 1)
+	if o.BitIdx[o.Rep] != 1 {
+		t.Errorf("representative = bit %d, want 1", o.BitIdx[o.Rep])
+	}
+}
+
+func TestPartitionDesign(t *testing.T) {
+	d := &signal.Design{
+		Name: "d",
+		Grid: signal.GridSpec{W: 32, H: 32, NumLayers: 4, EdgeCap: 4},
+		Groups: []signal.Group{
+			twoStyleGroup(),
+			{Bits: []signal.Bit{{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(20, 20)}, {Loc: geom.Pt(25, 20)}}}}},
+		},
+	}
+	objs := PartitionDesign(d)
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	if objs[0].GroupIdx != 0 || objs[2].GroupIdx != 1 {
+		t.Error("group indices wrong")
+	}
+}
+
+func TestMirroredBitsSeparate(t *testing.T) {
+	// A bit with sink to the east and one with sink to the west must not
+	// share an object even though distances match.
+	g := signal.Group{Bits: []signal.Bit{
+		{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(5, 0)}, {Loc: geom.Pt(9, 0)}}},
+		{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(5, 1)}, {Loc: geom.Pt(1, 1)}}},
+	}}
+	if objs := Partition(0, &g); len(objs) != 2 {
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+}

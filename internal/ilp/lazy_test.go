@@ -1,0 +1,89 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lazyVariant rebuilds a model with every constraint after the first
+// declared lazy instead of eager.
+func lazyVariant(m *Model) *Model {
+	out := NewModel(m.NumVars())
+	copy(out.obj, m.obj)
+	copy(out.integer, m.integer)
+	for _, s := range m.sos {
+		out.AddSOS(s)
+	}
+	for i, con := range m.cons {
+		if i == 0 {
+			out.AddConstraint(con.terms, con.rhs)
+		} else {
+			out.AddLazyConstraint(con.terms, con.rhs)
+		}
+	}
+	return out
+}
+
+// TestLazyEqualsEager: declaring constraints lazy must never change the
+// optimum — only the solve path.
+func TestLazyEqualsEager(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(r)
+		lz := lazyVariant(m)
+		eager := Solve(m, SolveOptions{})
+		lazy := Solve(lz, SolveOptions{})
+		if eager.Status != lazy.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, eager.Status, lazy.Status)
+		}
+		if eager.Status != Optimal {
+			continue
+		}
+		if math.Abs(eager.Obj-lazy.Obj) > 1e-5 {
+			t.Fatalf("trial %d: eager obj %v != lazy obj %v", trial, eager.Obj, lazy.Obj)
+		}
+		if !lz.Feasible(lazy.X, 1e-5) {
+			t.Fatalf("trial %d: lazy solution infeasible against full model", trial)
+		}
+	}
+}
+
+// TestSOSBranchingMatchesBinary: adding SOS declarations must never change
+// the optimum either.
+func TestSOSBranchingMatchesBinary(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(r) // randomModel has selection rows but no SOS
+		withSOS := NewModel(m.NumVars())
+		copy(withSOS.obj, m.obj)
+		copy(withSOS.integer, m.integer)
+		for _, con := range m.cons {
+			withSOS.AddConstraint(con.terms, con.rhs)
+			// Declare an SOS for rows that look like selection rows:
+			// all-ones coefficients and rhs 1 over binaries.
+			if con.rhs == 1 {
+				ok := true
+				var vars []int
+				for _, tm := range con.terms {
+					if tm.Coef != 1 || !m.integer[tm.Var] {
+						ok = false
+						break
+					}
+					vars = append(vars, tm.Var)
+				}
+				if ok && len(vars) > 1 {
+					withSOS.AddSOS(vars)
+				}
+			}
+		}
+		plain := Solve(m, SolveOptions{})
+		sos := Solve(withSOS, SolveOptions{})
+		if plain.Status != sos.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, plain.Status, sos.Status)
+		}
+		if plain.Status == Optimal && math.Abs(plain.Obj-sos.Obj) > 1e-5 {
+			t.Fatalf("trial %d: plain obj %v != SOS obj %v", trial, plain.Obj, sos.Obj)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package ilp
+
+import (
+	"math"
+	"time"
+)
+
+// lpStatus reports the outcome of an LP relaxation solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpIterLimit
+)
+
+// lpResult carries the solution of one LP relaxation.
+type lpResult struct {
+	status lpStatus
+	x      []float64 // structural variable values
+	obj    float64
+}
+
+// solveLP minimizes the model objective over the LP relaxation with the
+// given per-variable bounds, using a bounded-variable primal simplex on a
+// dense tableau. Rows that start infeasible (possible once branching fixes
+// lower bounds to 1) get Big-M artificial variables. A non-zero deadline
+// aborts long solves with lpIterLimit so the branch-and-bound time limit
+// holds even when a single relaxation is expensive.
+func (m *Model) solveLP(cons []constraint, lo, hi []float64, deadline time.Time) lpResult {
+	n := len(m.obj)
+	rows := len(cons)
+	if n == 0 {
+		return lpResult{status: lpOptimal, x: nil, obj: 0}
+	}
+
+	// Column layout: [0,n) structural, [n,n+rows) slack, then artificials.
+	// Bounds per column; artificials and slacks are [0, +inf).
+	ncols := n + rows
+	colLo := make([]float64, ncols, ncols+rows)
+	colHi := make([]float64, ncols, ncols+rows)
+	copy(colLo, lo)
+	copy(colHi, hi)
+	for j := n; j < ncols; j++ {
+		colHi[j] = inf
+	}
+
+	// Big-M cost for artificials, scaled to dominate any structural cost.
+	bigM := 1.0
+	for _, c := range m.obj {
+		bigM += math.Abs(c)
+	}
+	bigM *= 1e4
+
+	cost := make([]float64, ncols, ncols+rows)
+	copy(cost, m.obj)
+
+	// Dense tableau rows plus initial basic values.
+	t := make([][]float64, rows)
+	basis := make([]int, rows)
+	xB := make([]float64, rows)
+	atUpper := make([]bool, ncols, ncols+rows)
+	for j := 0; j < n; j++ {
+		// Start nonbasic structurals at the bound nearer the objective
+		// descent direction to reduce iterations.
+		if m.obj[j] < 0 && !math.IsInf(hi[j], 1) {
+			atUpper[j] = true
+		}
+		if lo[j] == hi[j] {
+			atUpper[j] = false
+		}
+	}
+	nbVal := func(j int) float64 {
+		if atUpper[j] {
+			return colHi[j]
+		}
+		return colLo[j]
+	}
+
+	for i, con := range cons {
+		row := make([]float64, ncols, ncols+rows)
+		for _, tm := range con.terms {
+			row[tm.Var] += tm.Coef
+		}
+		row[n+i] = 1
+		act := 0.0
+		for j := 0; j < n; j++ {
+			act += row[j] * nbVal(j)
+		}
+		slack := con.rhs - act
+		if slack >= 0 {
+			basis[i] = n + i
+			xB[i] = slack
+			t[i] = row
+			continue
+		}
+		// Infeasible start: negate the row and give it an artificial.
+		for j := range row {
+			row[j] = -row[j]
+		}
+		art := len(colLo)
+		colLo = append(colLo, 0)
+		colHi = append(colHi, inf)
+		cost = append(cost, bigM)
+		atUpper = append(atUpper, false)
+		for k := range t {
+			if t[k] != nil {
+				t[k] = append(t[k], 0)
+			}
+		}
+		for len(row) <= art {
+			row = append(row, 0)
+		}
+		row[art] = 1
+		basis[i] = art
+		xB[i] = -slack
+		t[i] = row
+	}
+	// Rows created before a later artificial column appeared were extended
+	// in the loop; normalize lengths for safety.
+	ncols = len(colLo)
+	for i := range t {
+		for len(t[i]) < ncols {
+			t[i] = append(t[i], 0)
+		}
+	}
+
+	inBasis := make([]bool, ncols)
+	for _, b := range basis {
+		inBasis[b] = true
+	}
+
+	// Objective row (reduced costs): d_j = c_j - c_B' T_j, maintained by
+	// pivoting alongside the tableau.
+	objRow := make([]float64, ncols)
+	copy(objRow, cost)
+	for i, b := range basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < ncols; j++ {
+			objRow[j] -= cb * t[i][j]
+		}
+	}
+
+	maxIter := 200 * (rows + ncols + 10)
+	blandAfter := 20 * (rows + ncols + 10)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return lpResult{status: lpIterLimit}
+		}
+		if iter%64 == 63 && !deadline.IsZero() && time.Now().After(deadline) {
+			return lpResult{status: lpIterLimit}
+		}
+		useBland := iter > blandAfter
+
+		// Entering variable: a nonbasic column whose reduced cost allows
+		// descent from its current bound.
+		enter, dir := -1, 0.0
+		bestViol := tol
+		for j := 0; j < ncols; j++ {
+			if inBasis[j] || colLo[j] == colHi[j] {
+				continue
+			}
+			var viol float64
+			var d float64
+			if !atUpper[j] && objRow[j] < -tol {
+				viol, d = -objRow[j], 1
+			} else if atUpper[j] && objRow[j] > tol {
+				viol, d = objRow[j], -1
+			} else {
+				continue
+			}
+			if useBland {
+				enter, dir = j, d
+				break
+			}
+			if viol > bestViol {
+				bestViol, enter, dir = viol, j, d
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+
+		// Ratio test: the entering variable moves by dir*tstep from its
+		// bound; basic variables must stay within their own bounds and the
+		// entering variable within its span.
+		tstep := colHi[enter] - colLo[enter]
+		leave := -1
+		leaveToUpper := false
+		for i := 0; i < rows; i++ {
+			coeff := t[i][enter] * dir
+			bi := basis[i]
+			var limit float64
+			var toUpper bool
+			switch {
+			case coeff > tol:
+				limit, toUpper = (xB[i]-colLo[bi])/coeff, false
+			case coeff < -tol:
+				if math.IsInf(colHi[bi], 1) {
+					continue
+				}
+				limit, toUpper = (colHi[bi]-xB[i])/-coeff, true
+			default:
+				continue
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			// Strictly better limit wins; near-ties prefer the smaller
+			// basis index (Bland-style, guards against cycling).
+			if limit < tstep-tol || (limit < tstep+tol && leave != -1 && basis[i] < basis[leave]) {
+				if limit < tstep {
+					tstep = limit
+				}
+				leave, leaveToUpper = i, toUpper
+			}
+		}
+		if math.IsInf(tstep, 1) {
+			// Unbounded descent cannot happen with bounded structurals and
+			// slack-only rays; treat as numeric trouble.
+			return lpResult{status: lpIterLimit}
+		}
+
+		if leave == -1 {
+			// Bound flip: entering moves to its opposite bound.
+			delta := dir * tstep
+			for i := 0; i < rows; i++ {
+				xB[i] -= t[i][enter] * delta
+			}
+			atUpper[enter] = !atUpper[enter]
+			continue
+		}
+
+		// Pivot: entering becomes basic at value bound + dir*tstep.
+		newVal := nbVal(enter) + dir*tstep
+		delta := dir * tstep
+		for i := 0; i < rows; i++ {
+			if i != leave {
+				xB[i] -= t[i][enter] * delta
+			}
+		}
+		leavingVar := basis[leave]
+		inBasis[leavingVar] = false
+		atUpper[leavingVar] = leaveToUpper
+		basis[leave] = enter
+		inBasis[enter] = true
+		xB[leave] = newVal
+
+		piv := t[leave][enter]
+		prow := t[leave]
+		invPiv := 1 / piv
+		for j := 0; j < ncols; j++ {
+			prow[j] *= invPiv
+		}
+		for i := 0; i < rows; i++ {
+			if i == leave {
+				continue
+			}
+			f := t[i][enter]
+			if f == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := 0; j < ncols; j++ {
+				ri[j] -= f * prow[j]
+			}
+			ri[enter] = 0 // exact zero against drift
+		}
+		if f := objRow[enter]; f != 0 {
+			for j := 0; j < ncols; j++ {
+				objRow[j] -= f * prow[j]
+			}
+			objRow[enter] = 0
+		}
+	}
+
+	// Feasibility check: any artificial still carrying value means the
+	// constraints cannot be satisfied under the given bounds.
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = nbVal(j)
+	}
+	for i, b := range basis {
+		if b < n {
+			x[b] = xB[i]
+		} else if b >= n+rows && xB[i] > 1e-6 {
+			return lpResult{status: lpInfeasible}
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		// Clamp tiny numeric drift back into bounds.
+		if x[j] < lo[j] {
+			x[j] = lo[j]
+		}
+		if x[j] > hi[j] {
+			x[j] = hi[j]
+		}
+		obj += m.obj[j] * x[j]
+	}
+	return lpResult{status: lpOptimal, x: x, obj: obj}
+}

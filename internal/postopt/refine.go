@@ -1,0 +1,293 @@
+package postopt
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// pinDistance returns the source-to-sink path length from the bit's driver
+// to pin `pin` along its routed tree, or -1 when unrouted/off-tree.
+func pinDistance(bit *signal.Bit, br *route.BitRoute, pin int) int {
+	if !br.Routed {
+		return -1
+	}
+	return br.Tree.PathLength(bit.DriverLoc(), bit.Pins[pin].Loc)
+}
+
+// groupMaxDistance returns the maximum source-to-sink distance over all
+// routed bits and sinks of the group — the base of the paper's 50 %
+// threshold rule.
+func groupMaxDistance(g *signal.Group, bits []route.BitRoute) int {
+	maxDst := 0
+	for bi := range g.Bits {
+		b := &g.Bits[bi]
+		for _, s := range b.Sinks() {
+			if d := pinDistance(b, &bits[bi], s); d > maxDst {
+				maxDst = d
+			}
+		}
+	}
+	return maxDst
+}
+
+// violation identifies one under-distance pin: the group's bit and pin
+// index plus the distance it should be brought up to.
+type violation struct {
+	group, bit, pin int
+	current, target int
+}
+
+// findViolations detects the source-to-sink deviation violations of a
+// routing: for every solution object with a pin correspondence, each
+// mapped sink class whose distance spread exceeds threshold = DistFrac *
+// (group max initial distance) flags its short pins. Returned slice is
+// sorted deterministically.
+func findViolations(d *signal.Design, r *route.Routing, opt Options) []violation {
+	opt = opt.withDefaults()
+	var out []violation
+	for gi := range d.Groups {
+		g := &d.Groups[gi]
+		threshold := int(opt.DistFrac * float64(groupMaxDistance(g, r.Bits[gi])))
+		if threshold <= 0 {
+			continue
+		}
+		for _, so := range r.Objects[gi] {
+			if so.PinMap == nil || len(so.BitIdx) < 2 {
+				continue
+			}
+			rep := &g.Bits[so.RepBit]
+			repK := -1
+			for k, bi := range so.BitIdx {
+				if bi == so.RepBit {
+					repK = k
+				}
+			}
+			if repK == -1 {
+				continue
+			}
+			for _, repSink := range rep.Sinks() {
+				// Gather the distances of the mapped pin class.
+				type entry struct {
+					bit, pin, dst int
+				}
+				var cls []entry
+				maxDst := -1
+				for k, bi := range so.BitIdx {
+					pin := so.PinMap[k][mapToObjectPin(so.PinMap[repK], repSink)]
+					dst := pinDistance(&g.Bits[bi], &r.Bits[gi][bi], pin)
+					if dst < 0 {
+						continue
+					}
+					cls = append(cls, entry{bi, pin, dst})
+					if dst > maxDst {
+						maxDst = dst
+					}
+				}
+				for _, e := range cls {
+					if maxDst-e.dst > threshold {
+						out = append(out, violation{gi, e.bit, e.pin, e.dst, maxDst - threshold})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.group != b.group {
+			return a.group < b.group
+		}
+		if a.bit != b.bit {
+			return a.bit < b.bit
+		}
+		return a.pin < b.pin
+	})
+	return out
+}
+
+// mapToObjectPin inverts a representative pin map entry: given the map
+// from object-representative pins to cluster-representative pins, find the
+// object pin whose image is repPin. PinMap rows are permutations, so the
+// inverse exists.
+func mapToObjectPin(repMap []int, repPin int) int {
+	for objPin, p := range repMap {
+		if p == repPin {
+			return objPin
+		}
+	}
+	return repPin
+}
+
+// CountViolatedGroups returns the paper's Vio(dst) metric: the number of
+// groups with at least one source-to-sink deviation violation.
+func CountViolatedGroups(d *signal.Design, r *route.Routing, opt Options) int {
+	seen := map[int]bool{}
+	for _, v := range findViolations(d, r, opt) {
+		seen[v.group] = true
+	}
+	return len(seen)
+}
+
+// RefineStats summarizes a refinement pass.
+type RefineStats struct {
+	// GroupsBefore and GroupsAfter count violated groups before and after.
+	GroupsBefore, GroupsAfter int
+	// PinsFixed counts violating pins whose detour succeeded.
+	PinsFixed int
+	// PinsLeft counts violating pins that could not be fixed (capacity or
+	// boundary constraints).
+	PinsLeft int
+	// AddedWL is the total detour wirelength added.
+	AddedWL int
+}
+
+// Refine runs Algorithm 4: for every violating pin it extracts the RC
+// incident to the pin and tries perpendicular U-shaped shifts (Fig. 10) in
+// both directions, checking multilayer capacity before committing. The
+// routing and usage are updated in place.
+func Refine(p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) RefineStats {
+	opt = opt.withDefaults()
+	var stats RefineStats
+	stats.GroupsBefore = CountViolatedGroups(p.Design, r, opt)
+	for _, v := range findViolations(p.Design, r, opt) {
+		if fixed, added := detourPin(p.Design, r, u, v); fixed {
+			stats.PinsFixed++
+			stats.AddedWL += added
+		} else {
+			stats.PinsLeft++
+		}
+	}
+	stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
+	return stats
+}
+
+// detourPin lengthens the connection to the violating pin by a U-shaped
+// twisting route so that its source-to-sink distance reaches the target.
+// Returns whether the detour succeeded and the added wirelength.
+func detourPin(d *signal.Design, r *route.Routing, u *grid.Usage, v violation) (bool, int) {
+	g := d.Groups[v.group]
+	bit := &g.Bits[v.bit]
+	br := &r.Bits[v.group][v.bit]
+	if !br.Routed {
+		return false, 0
+	}
+	pinLoc := bit.Pins[v.pin].Loc
+	conn, rest, ok := leafConnection(br.Tree, bit.PinLocs(), pinLoc)
+	if !ok {
+		return false, 0
+	}
+	need := v.target - v.current
+	if need <= 0 {
+		return false, 0
+	}
+	k := (need + 1) / 2 // each U adds 2k length
+
+	gr := u.Grid()
+	try := func(detour []geom.Seg) bool {
+		// The replacement must fit the residual capacity once the old
+		// connection is released.
+		route.AddTreeUsage(u, geom.NewTree(conn), br.HLayer, br.VLayer, -1)
+		newTree := geom.Tree{Segs: append(append([]geom.Seg{}, rest...), detour...)}
+		if !treeInBounds(gr, newTree) || !route.TreeFits(u, geom.NewTree(detour...), br.HLayer, br.VLayer) {
+			route.AddTreeUsage(u, geom.NewTree(conn), br.HLayer, br.VLayer, 1)
+			return false
+		}
+		if !newTree.Connected(bit.PinLocs()) {
+			route.AddTreeUsage(u, geom.NewTree(conn), br.HLayer, br.VLayer, 1)
+			return false
+		}
+		route.AddTreeUsage(u, geom.NewTree(detour...), br.HLayer, br.VLayer, 1)
+		br.Tree = newTree
+		return true
+	}
+
+	n := conn.Norm()
+	sp := n.A
+	if sp == pinLoc {
+		sp = n.B
+	}
+	if conn.Horizontal() {
+		// Vertical shifting (upper and lower, Fig. 10 rotated).
+		for _, dy := range []int{k, -k} {
+			detour := uShape(sp, pinLoc, geom.Pt(0, dy))
+			if try(detour) {
+				return true, 2 * k
+			}
+		}
+	} else {
+		// Horizontal shifting (left and right, Fig. 10).
+		for _, dx := range []int{k, -k} {
+			detour := uShape(sp, pinLoc, geom.Pt(dx, 0))
+			if try(detour) {
+				return true, 2 * k
+			}
+		}
+	}
+	return false, 0
+}
+
+// uShape returns the three-segment detour replacing the straight
+// connection sp -> pin: jog perpendicular by d, run parallel, jog back.
+func uShape(sp, pin, d geom.Point) []geom.Seg {
+	a := sp.Add(d)
+	b := pin.Add(d)
+	return []geom.Seg{geom.S(sp, a), geom.S(a, b), geom.S(b, pin)}
+}
+
+// leafConnection extracts the canonical RC incident to pin, requiring the
+// pin to be a leaf (degree 1) so the detour disturbs no other connection
+// (§IV-C keeps the other pins' connections intact). It returns the
+// connection, the remaining segments, and ok.
+func leafConnection(t geom.Tree, pins []geom.Point, pin geom.Point) (geom.Seg, []geom.Seg, bool) {
+	segs := splitAt(t.Canon().Segs, pins)
+	deg := 0
+	var conn geom.Seg
+	var rest []geom.Seg
+	for _, s := range segs {
+		if s.A == pin || s.B == pin {
+			deg++
+			conn = s
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	if deg != 1 {
+		return geom.Seg{}, nil, false
+	}
+	return conn, rest, true
+}
+
+// splitAt cuts segments at any of the given points lying in their
+// interiors.
+func splitAt(segs []geom.Seg, pts []geom.Point) []geom.Seg {
+	var out []geom.Seg
+	for _, s := range segs {
+		n := s.Norm()
+		cuts := []geom.Point{n.A, n.B}
+		for _, p := range pts {
+			if n.Contains(p) && p != n.A && p != n.B {
+				cuts = append(cuts, p)
+			}
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i].Less(cuts[j]) })
+		for i := 0; i+1 < len(cuts); i++ {
+			if cuts[i] != cuts[i+1] {
+				out = append(out, geom.Seg{A: cuts[i], B: cuts[i+1]})
+			}
+		}
+	}
+	return out
+}
+
+// treeInBounds reports whether every segment endpoint lies on the grid.
+func treeInBounds(g *grid.Grid, t geom.Tree) bool {
+	for _, s := range t.Segs {
+		if !g.InBounds(s.A.X, s.A.Y) || !g.InBounds(s.B.X, s.B.Y) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+func TestFormatRuntime(t *testing.T) {
+	if got := FormatRuntime(2500*time.Millisecond, false, time.Hour); got != "2.5" {
+		t.Errorf("FormatRuntime = %q", got)
+	}
+	if got := FormatRuntime(time.Hour, true, 3600*time.Second); got != "> 3600" {
+		t.Errorf("timed out FormatRuntime = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "TABLE I", []string{"Route", "WL"}, []Row{
+		{Bench: "Industry1", Cells: []string{"99.13%", "7.30"}},
+		{Bench: "I2", Cells: []string{"99.59%", "17.93"}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "Industry1") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines equal width (aligned).
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Error("table rows not aligned")
+	}
+}
+
+func TestMetricsCells(t *testing.T) {
+	m := metrics.Metrics{RouteFrac: 0.9913, WL: 730000, AvgReg: 0.9813}
+	cells := MetricsCells(m)
+	if cells[0] != "99.13%" || cells[1] != "7.30" || cells[2] != "98.13%" {
+		t.Errorf("cells = %v", cells)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	g := grid.New(8, 8, grid.DefaultLayers(2, 2))
+	u := grid.NewUsage(g)
+	u.AddSeg(0, geom.S(geom.Pt(0, 3), geom.Pt(7, 3)), 3) // overflow row
+	var sb strings.Builder
+	Heatmap(&sb, u, 16)
+	out := sb.String()
+	if !strings.Contains(out, "@") {
+		t.Errorf("overflow row missing '@':\n%s", out)
+	}
+	if !strings.Contains(out, "overflow edges: 7") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestHeatmapDownsamples(t *testing.T) {
+	g := grid.New(64, 64, grid.DefaultLayers(2, 2))
+	u := grid.NewUsage(g)
+	var sb strings.Builder
+	Heatmap(&sb, u, 16)
+	lines := strings.Split(sb.String(), "\n")
+	// 64/16 = 4 cells per block -> 16 map rows + legend + trailing newline.
+	if len(lines) != 18 {
+		t.Errorf("lines = %d, want 18", len(lines))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"pins", "cpu"}, [][]string{{"100", "1.5"}, {"200", "3.0"}})
+	want := "pins,cpu\n100,1.5\n200,3.0\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}
+
+func TestCongChar(t *testing.T) {
+	cases := []struct {
+		v    int
+		want byte
+	}{{0, ' '}, {199, ' '}, {200, '.'}, {500, ':'}, {800, '+'}, {1000, '#'}, {1500, '@'}}
+	for _, c := range cases {
+		if got := congChar(c.v); got != c.want {
+			t.Errorf("congChar(%d) = %c, want %c", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package route turns a design into Streak's candidate-selection problem
+// (formulation (3) in the paper): it partitions groups into objects,
+// generates 3-D candidates for every object, prices candidates (c(i,j))
+// and pairwise irregularity (c(i,j,p,q)), and provides assignment legality
+// and cost evaluation shared by the ILP and primal-dual solvers.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ident"
+	"repro/internal/signal"
+	"repro/internal/topo"
+)
+
+// Options tunes problem construction.
+type Options struct {
+	// Topo tunes backbone and candidate generation.
+	Topo topo.Options
+	// M is the non-routing penalty of formulation (3a). Default 1e6.
+	M float64
+	// RegWeight scales the 1/ratio irregularity cost. Default 20.
+	RegWeight float64
+	// NoShare is the penalty for topology pairs sharing no RC; it must
+	// stay below M so routability keeps first priority. Default 2000.
+	NoShare float64
+	// LayerPenalty is charged per layer of distance between the shared
+	// trunks of two candidates. Default 4.
+	LayerPenalty float64
+	// MaxCandidates caps the 3-D candidates kept per object. Default 8.
+	MaxCandidates int
+	// PairNeighbors bounds, per object, how many same-group neighbor
+	// objects contribute pair terms (objects are neighbored in index
+	// order). Zero means all pairs. Large multipin groups otherwise
+	// explode quadratically. Default 4.
+	PairNeighbors int
+}
+
+func (o Options) withDefaults() Options {
+	if o.M == 0 {
+		o.M = 1e6
+	}
+	if o.RegWeight == 0 {
+		o.RegWeight = 20
+	}
+	if o.NoShare == 0 {
+		o.NoShare = 2000
+	}
+	if o.LayerPenalty == 0 {
+		o.LayerPenalty = 4
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 12
+	}
+	if o.PairNeighbors == 0 {
+		o.PairNeighbors = 4
+	}
+	return o
+}
+
+// Problem is the built selection problem.
+type Problem struct {
+	// Design is the input design.
+	Design *signal.Design
+	// Grid is the routing grid with blockages applied.
+	Grid *grid.Grid
+	// Objects lists every routing object across all groups.
+	Objects []ident.Object
+	// Cands[i] are the 3-D candidates of object i, sorted by cost.
+	Cands [][]topo.Candidate
+	// GroupObjs[g] lists the object indices belonging to group g.
+	GroupObjs [][]int
+	// Opt holds the options the problem was built with.
+	Opt Options
+
+	ratioCache map[[4]int]float64
+}
+
+// NewGrid materializes the design's grid spec, applying blockages.
+func NewGrid(d *signal.Design) *grid.Grid {
+	g := grid.New(d.Grid.W, d.Grid.H, grid.DefaultLayers(d.Grid.NumLayers, d.Grid.EdgeCap))
+	for _, b := range d.Grid.Blockages {
+		g.SetRegionCap(b.Layer, b.Rect, b.Cap)
+	}
+	return g
+}
+
+// Build constructs the selection problem for a design.
+func Build(d *signal.Design, opt Options) (*Problem, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	p := &Problem{
+		Design:     d,
+		Grid:       NewGrid(d),
+		Opt:        opt,
+		GroupObjs:  make([][]int, len(d.Groups)),
+		ratioCache: make(map[[4]int]float64),
+	}
+	for gi := range d.Groups {
+		objs := ident.Partition(gi, &d.Groups[gi])
+		for _, o := range objs {
+			o := o
+			idx := len(p.Objects)
+			p.Objects = append(p.Objects, o)
+			p.GroupObjs[gi] = append(p.GroupObjs[gi], idx)
+			ots := topo.ObjectTopologies(&d.Groups[gi], &o, opt.Topo)
+			cands := topo.Expand3D(p.Grid, ots, opt.Topo)
+			p.Cands = append(p.Cands, trimDiverse(cands, opt.MaxCandidates))
+		}
+	}
+	return p, nil
+}
+
+// trimDiverse caps the candidate list at maxN while keeping topology
+// diversity: candidates are taken round-robin across 2-D topologies in
+// cost order, so a cheap topology's layer variants cannot crowd out the
+// detour topologies the solver needs under congestion.
+func trimDiverse(cands []topo.Candidate, maxN int) []topo.Candidate {
+	if len(cands) <= maxN {
+		return cands
+	}
+	byTopo := make(map[int][]topo.Candidate)
+	var order []int
+	for _, c := range cands { // already cost-sorted
+		if _, seen := byTopo[c.TopoIdx]; !seen {
+			order = append(order, c.TopoIdx)
+		}
+		byTopo[c.TopoIdx] = append(byTopo[c.TopoIdx], c)
+	}
+	out := make([]topo.Candidate, 0, maxN)
+	for round := 0; len(out) < maxN; round++ {
+		added := false
+		for _, ti := range order {
+			if round < len(byTopo[ti]) && len(out) < maxN {
+				out = append(out, byTopo[ti][round])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// Group returns the signal group owning object i.
+func (p *Problem) Group(i int) *signal.Group {
+	return &p.Design.Groups[p.Objects[i].GroupIdx]
+}
+
+// RepBit returns the representative bit of object i.
+func (p *Problem) RepBit(i int) *signal.Bit {
+	return p.Objects[i].RepBit(p.Group(i))
+}
+
+// Cost returns c(i,j): the wirelength-plus-via cost of candidate j of
+// object i.
+func (p *Problem) Cost(i, j int) float64 {
+	return float64(p.Cands[i][j].Cost)
+}
+
+// Partners returns the same-group objects that contribute pair terms with
+// object i, respecting the PairNeighbors bound.
+func (p *Problem) Partners(i int) []int {
+	objs := p.GroupObjs[p.Objects[i].GroupIdx]
+	if len(objs) <= 1 {
+		return nil
+	}
+	pos := -1
+	for k, oi := range objs {
+		if oi == i {
+			pos = k
+			break
+		}
+	}
+	var out []int
+	for k, oi := range objs {
+		if oi == i {
+			continue
+		}
+		if p.Opt.PairNeighbors > 0 && iabs(k-pos) > p.Opt.PairNeighbors {
+			continue
+		}
+		out = append(out, oi)
+	}
+	return out
+}
+
+// ratio2D returns the regularity ratio between the backbone topologies of
+// candidate j of object i and candidate r of object q, cached per 2-D
+// topology pair so layer variants reuse the geometric computation.
+func (p *Problem) ratio2D(i, j, q, r int) float64 {
+	key := [4]int{i, p.Cands[i][j].TopoIdx, q, p.Cands[q][r].TopoIdx}
+	if v, ok := p.ratioCache[key]; ok {
+		return v
+	}
+	v := topo.Ratio(
+		p.Cands[i][j].Topo.Backbone, p.RepBit(i),
+		p.Cands[q][r].Topo.Backbone, p.RepBit(q),
+	)
+	p.ratioCache[key] = v
+	p.ratioCache[[4]int{q, p.Cands[q][r].TopoIdx, i, p.Cands[i][j].TopoIdx}] = v
+	return v
+}
+
+// PairCost returns c(i,j,p,q) of formulation (3a): the irregularity cost of
+// simultaneously selecting candidate j of object i and candidate r of
+// object q. Objects in different groups never pay pair costs.
+func (p *Problem) PairCost(i, j, q, r int) float64 {
+	if p.Objects[i].GroupIdx != p.Objects[q].GroupIdx || i == q {
+		return 0
+	}
+	ratio := p.ratio2D(i, j, q, r)
+	ld := layerDist(&p.Cands[i][j], &p.Cands[q][r])
+	return topo.PairIrregularity(ratio, p.Opt.RegWeight, p.Opt.NoShare, ld, p.Opt.LayerPenalty)
+}
+
+// layerDist measures how far apart the trunks of two candidates sit in the
+// metal stack.
+func layerDist(a, b *topo.Candidate) int {
+	return iabs(a.HLayer-b.HLayer) + iabs(a.VLayer-b.VLayer)
+}
+
+// Assignment selects one candidate per object (or -1 for unrouted).
+type Assignment struct {
+	// Choice[i] is the selected candidate index of object i, or -1.
+	Choice []int
+}
+
+// NewAssignment returns an all-unrouted assignment for the problem.
+func (p *Problem) NewAssignment() Assignment {
+	a := Assignment{Choice: make([]int, len(p.Objects))}
+	for i := range a.Choice {
+		a.Choice[i] = -1
+	}
+	return a
+}
+
+// RoutedObjects counts objects with a selected candidate.
+func (a Assignment) RoutedObjects() int {
+	n := 0
+	for _, c := range a.Choice {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Usage accumulates the track usage of the assignment on a fresh tracker.
+func (p *Problem) Usage(a Assignment) *grid.Usage {
+	u := grid.NewUsage(p.Grid)
+	p.AddUsage(a, u, 1)
+	return u
+}
+
+// AddUsage applies (delta=+1) or removes (delta=-1) the assignment's track
+// usage on an existing tracker.
+func (p *Problem) AddUsage(a Assignment, u *grid.Usage, delta int) {
+	for i, c := range a.Choice {
+		if c < 0 {
+			continue
+		}
+		for k, n := range p.Cands[i][c].Usage {
+			u.Add(k.Layer, k.Idx, n*delta)
+		}
+	}
+}
+
+// Legal reports whether the assignment satisfies every edge capacity
+// (constraint (3c)); the returned error pinpoints the first overflow.
+func (p *Problem) Legal(a Assignment) error {
+	if len(a.Choice) != len(p.Objects) {
+		return fmt.Errorf("route: assignment covers %d of %d objects", len(a.Choice), len(p.Objects))
+	}
+	u := p.Usage(a)
+	if u.Overflow() == 0 {
+		return nil
+	}
+	for l := range p.Grid.Layers {
+		for idx := 0; idx < p.Grid.EdgeCount(l); idx++ {
+			if u.Avail(l, idx) < 0 {
+				x, y := p.Grid.EdgeCell(l, idx)
+				return fmt.Errorf("route: edge (%d,%d) layer %d overflows by %d", x, y, l, -u.Avail(l, idx))
+			}
+		}
+	}
+	return nil
+}
+
+// CandidateFits reports whether candidate j of object i fits the remaining
+// capacity in u.
+func (p *Problem) CandidateFits(i, j int, u *grid.Usage) bool {
+	for k, n := range p.Cands[i][j].Usage {
+		if u.Avail(k.Layer, k.Idx) < n {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjectiveValue evaluates formulation (3a) for the assignment: candidate
+// costs, M per unrouted object, and pair irregularity over same-group
+// partner pairs (each unordered pair counted once).
+func (p *Problem) ObjectiveValue(a Assignment) float64 {
+	total := 0.0
+	for i, c := range a.Choice {
+		if c < 0 {
+			total += p.Opt.M
+			continue
+		}
+		total += p.Cost(i, c)
+		for _, q := range p.Partners(i) {
+			if q > i && a.Choice[q] >= 0 {
+				total += p.PairCost(i, c, q, a.Choice[q])
+			}
+		}
+	}
+	return total
+}
+
+// BitTree returns the routed tree of a specific bit under the assignment,
+// or nil when its object is unrouted. The bit is addressed by group and
+// bit index.
+func (p *Problem) BitTree(a Assignment, groupIdx, bitIdx int) *geom.Tree {
+	for i, obj := range p.Objects {
+		if obj.GroupIdx != groupIdx {
+			continue
+		}
+		for k, bi := range obj.BitIdx {
+			if bi == bitIdx {
+				if a.Choice[i] < 0 {
+					return nil
+				}
+				t := p.Cands[i][a.Choice[i]].Topo.BitTrees[k]
+				return &t
+			}
+		}
+	}
+	return nil
+}
+
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// BitRoute is the final routed geometry of one bit.
+type BitRoute struct {
+	// Routed is false when the bit has no route.
+	Routed bool
+	// Tree is the 2-D routing tree (valid when Routed).
+	Tree geom.Tree
+	// HLayer and VLayer carry the layer assignment of the horizontal and
+	// vertical trunks.
+	HLayer, VLayer int
+}
+
+// SolutionObject is one routed topology class inside a group: the set of
+// bits sharing an equivalent topology, with a representative. The initial
+// identification objects produce one each; post-optimization clustering
+// may add more (one per cluster).
+type SolutionObject struct {
+	// RepTree is the representative topology (the backbone).
+	RepTree geom.Tree
+	// RepBit indexes the representative bit within the group.
+	RepBit int
+	// BitIdx lists the member bits (group-relative indices).
+	BitIdx []int
+	// HLayer and VLayer carry the layer assignment.
+	HLayer, VLayer int
+	// PinMap[k][i] maps pin i of the representative to the corresponding
+	// pin of member k, mirroring ident.Object. Nil when unknown (clusters
+	// of a single bit map trivially).
+	PinMap [][]int
+}
+
+// Routing is the complete routed state of a design: per-bit geometry plus
+// the per-group solution objects used for regularity (Eq. 9) and distance
+// (Vio(dst)) evaluation.
+type Routing struct {
+	// Bits is indexed [group][bit].
+	Bits [][]BitRoute
+	// Objects is indexed [group]; each entry lists the routed solution
+	// objects of that group.
+	Objects [][]SolutionObject
+}
+
+// NewRouting returns an all-unrouted routing shaped like the problem's
+// design.
+func (p *Problem) NewRouting() *Routing {
+	r := &Routing{
+		Bits:    make([][]BitRoute, len(p.Design.Groups)),
+		Objects: make([][]SolutionObject, len(p.Design.Groups)),
+	}
+	for gi := range p.Design.Groups {
+		r.Bits[gi] = make([]BitRoute, len(p.Design.Groups[gi].Bits))
+	}
+	return r
+}
+
+// ExtractRouting materializes the per-bit geometry of an assignment.
+func (p *Problem) ExtractRouting(a Assignment) *Routing {
+	r := p.NewRouting()
+	for i, c := range a.Choice {
+		if c < 0 {
+			continue
+		}
+		obj := &p.Objects[i]
+		cand := &p.Cands[i][c]
+		gi := obj.GroupIdx
+		for k, bi := range obj.BitIdx {
+			r.Bits[gi][bi] = BitRoute{
+				Routed: true,
+				Tree:   cand.Topo.BitTrees[k],
+				HLayer: cand.HLayer,
+				VLayer: cand.VLayer,
+			}
+		}
+		r.Objects[gi] = append(r.Objects[gi], SolutionObject{
+			RepTree: cand.Topo.Backbone,
+			RepBit:  obj.BitIdx[obj.Rep],
+			BitIdx:  append([]int(nil), obj.BitIdx...),
+			HLayer:  cand.HLayer,
+			VLayer:  cand.VLayer,
+			PinMap:  obj.PinMap,
+		})
+	}
+	return r
+}
+
+// GroupRouted reports whether every bit of group gi is routed.
+func (r *Routing) GroupRouted(gi int) bool {
+	for _, b := range r.Bits[gi] {
+		if !b.Routed {
+			return false
+		}
+	}
+	return true
+}
+
+// RoutedGroups counts fully routed groups.
+func (r *Routing) RoutedGroups() int {
+	n := 0
+	for gi := range r.Bits {
+		if r.GroupRouted(gi) {
+			n++
+		}
+	}
+	return n
+}
+
+// UsageOf accumulates the routing's track usage onto a fresh tracker.
+func (r *Routing) UsageOf(g *grid.Grid) *grid.Usage {
+	u := grid.NewUsage(g)
+	for gi := range r.Bits {
+		for _, b := range r.Bits[gi] {
+			if !b.Routed {
+				continue
+			}
+			AddTreeUsage(u, b.Tree, b.HLayer, b.VLayer, 1)
+		}
+	}
+	return u
+}
+
+// AddTreeUsage applies (or removes, with delta -1) one bit tree's track
+// usage: horizontal canonical segments on hLayer, vertical on vLayer.
+func AddTreeUsage(u *grid.Usage, t geom.Tree, hLayer, vLayer, delta int) {
+	for _, s := range t.Canon().Segs {
+		l := hLayer
+		if s.Vertical() && s.Len() > 0 {
+			l = vLayer
+		}
+		u.AddSeg(l, s, delta)
+	}
+}
+
+// TreeFits reports whether the tree can take one more track on its layers.
+func TreeFits(u *grid.Usage, t geom.Tree, hLayer, vLayer int) bool {
+	for _, s := range t.Canon().Segs {
+		l := hLayer
+		if s.Vertical() && s.Len() > 0 {
+			l = vLayer
+		}
+		if !u.SegFits(l, s, 1) {
+			return false
+		}
+	}
+	return true
+}

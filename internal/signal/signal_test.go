@@ -1,0 +1,150 @@
+package signal
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func sampleDesign() *Design {
+	return &Design{
+		Name: "sample",
+		Grid: GridSpec{W: 16, H: 16, NumLayers: 4, EdgeCap: 4, Pitch: 10,
+			Blockages: []Blockage{{Layer: 0, Rect: geom.Rect{Lo: geom.Pt(4, 4), Hi: geom.Pt(6, 6)}}}},
+		Groups: []Group{
+			{
+				Name: "g0",
+				Bits: []Bit{
+					{Name: "b0", Driver: 0, Pins: []Pin{{Loc: geom.Pt(1, 1)}, {Loc: geom.Pt(9, 1)}}},
+					{Name: "b1", Driver: 0, Pins: []Pin{{Loc: geom.Pt(1, 2)}, {Loc: geom.Pt(9, 2)}}},
+				},
+			},
+			{
+				Name: "g1",
+				Bits: []Bit{
+					{Name: "m0", Driver: 1, Pins: []Pin{{Loc: geom.Pt(3, 10)}, {Loc: geom.Pt(2, 8)}, {Loc: geom.Pt(6, 12)}}},
+				},
+			},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleDesign().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Design)
+		want   string
+	}{
+		{func(d *Design) { d.Grid.W = 1 }, "too small"},
+		{func(d *Design) { d.Grid.NumLayers = 1 }, "layers"},
+		{func(d *Design) { d.Groups[0].Bits = nil }, "empty"},
+		{func(d *Design) { d.Groups[0].Bits[0].Pins = d.Groups[0].Bits[0].Pins[:1] }, "pins"},
+		{func(d *Design) { d.Groups[0].Bits[0].Driver = 5 }, "driver"},
+		{func(d *Design) { d.Groups[1].Bits[0].Pins[2].Loc = geom.Pt(99, 99) }, "off grid"},
+	}
+	for i, c := range cases {
+		d := sampleDesign()
+		c.mutate(d)
+		err := d.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: err = %v, want contains %q", i, err, c.want)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := sampleDesign()
+	if d.NumNets() != 3 {
+		t.Errorf("NumNets = %d", d.NumNets())
+	}
+	if d.NumPins() != 7 {
+		t.Errorf("NumPins = %d", d.NumPins())
+	}
+	if d.MaxPins() != 3 {
+		t.Errorf("MaxPins = %d", d.MaxPins())
+	}
+	if d.MaxWidth() != 2 {
+		t.Errorf("MaxWidth = %d", d.MaxWidth())
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	b := sampleDesign().Groups[1].Bits[0]
+	if b.DriverLoc() != geom.Pt(2, 8) {
+		t.Errorf("DriverLoc = %v", b.DriverLoc())
+	}
+	sinks := b.Sinks()
+	if len(sinks) != 2 || sinks[0] != 0 || sinks[1] != 2 {
+		t.Errorf("Sinks = %v", sinks)
+	}
+	locs := b.PinLocs()
+	if len(locs) != 3 || locs[1] != geom.Pt(2, 8) {
+		t.Errorf("PinLocs = %v", locs)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDesign()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name != d.Name || got.NumNets() != d.NumNets() || got.NumPins() != d.NumPins() {
+		t.Error("round trip changed design stats")
+	}
+	if got.Groups[1].Bits[0].Driver != 1 {
+		t.Error("driver index lost")
+	}
+	if len(got.Grid.Blockages) != 1 {
+		t.Error("blockages lost")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Grid":{"W":1,"H":1,"NumLayers":2,"EdgeCap":1}}`)); err == nil {
+		t.Error("invalid design accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"Bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := sampleDesign()
+	path := filepath.Join(t.TempDir(), "design.json")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.Name != "sample" || got.NumNets() != 3 {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestGroupMaxPins(t *testing.T) {
+	g := sampleDesign().Groups[1]
+	if g.MaxPins() != 3 || g.NumPins() != 3 {
+		t.Errorf("MaxPins=%d NumPins=%d", g.MaxPins(), g.NumPins())
+	}
+}

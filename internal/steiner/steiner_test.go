@@ -1,0 +1,174 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestMSTTwoPins(t *testing.T) {
+	tr := MST([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}, Options{})
+	if tr.WireLength() != 7 {
+		t.Errorf("wirelength = %d, want 7", tr.WireLength())
+	}
+	if !tr.Connected([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}) {
+		t.Error("not connected")
+	}
+}
+
+func TestMSTDegenerate(t *testing.T) {
+	if tr := MST(nil, Options{}); len(tr.Segs) != 0 {
+		t.Error("empty pin set should yield empty tree")
+	}
+	if tr := MST([]geom.Point{geom.Pt(1, 1)}, Options{}); len(tr.Segs) != 0 {
+		t.Error("single pin should yield empty tree")
+	}
+	// Duplicate pins collapse.
+	tr := MST([]geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(2, 0)}, Options{})
+	if tr.WireLength() != 2 {
+		t.Errorf("wirelength = %d, want 2", tr.WireLength())
+	}
+}
+
+func TestIterated1SteinerBeatsOrMatchesMST(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(6)
+		pins := make([]geom.Point, n)
+		for i := range pins {
+			pins[i] = geom.Pt(r.Intn(16), r.Intn(16))
+		}
+		mst := MST(pins, Options{})
+		st := Iterated1Steiner(pins, Options{})
+		if !st.Connected(pins) {
+			t.Fatalf("trial %d: Steiner tree disconnected", trial)
+		}
+		if st.WireLength() > mst.WireLength() {
+			t.Fatalf("trial %d: Steiner WL %d > MST WL %d", trial, st.WireLength(), mst.WireLength())
+		}
+		// HPWL is a lower bound for any connecting tree.
+		if st.WireLength() < geom.BBox(pins).HalfPerimeter() {
+			t.Fatalf("trial %d: WL %d below HPWL bound %d", trial, st.WireLength(), geom.BBox(pins).HalfPerimeter())
+		}
+	}
+}
+
+func TestIterated1SteinerClassicCross(t *testing.T) {
+	// Four corner pins of a diamond: the optimal RSMT uses a Steiner point.
+	pins := []geom.Point{geom.Pt(0, 1), geom.Pt(2, 1), geom.Pt(1, 0), geom.Pt(1, 2)}
+	st := Iterated1Steiner(pins, Options{})
+	if st.WireLength() != 4 {
+		t.Errorf("cross RSMT = %d, want 4", st.WireLength())
+	}
+}
+
+func TestBendWeightReducesBends(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	worse := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(5)
+		pins := make([]geom.Point, n)
+		for i := range pins {
+			pins[i] = geom.Pt(r.Intn(20), r.Intn(20))
+		}
+		plain := Iterated1Steiner(pins, Options{})
+		bendy := Iterated1Steiner(pins, Options{BendWeight: 5})
+		if bendy.Bends() > plain.Bends() {
+			worse++
+		}
+	}
+	if worse > 8 {
+		t.Errorf("bend weight made bends worse in %d/40 trials", worse)
+	}
+}
+
+func TestLength(t *testing.T) {
+	if got := Length([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 5)}); got != 10 {
+		t.Errorf("Length = %d, want 10", got)
+	}
+	if got := Length([]geom.Point{geom.Pt(2, 2)}); got != 0 {
+		t.Errorf("single-pin Length = %d, want 0", got)
+	}
+}
+
+func TestBackbonesDistinctAndConnected(t *testing.T) {
+	pins := []geom.Point{geom.Pt(0, 0), geom.Pt(6, 2), geom.Pt(3, 7), geom.Pt(8, 8)}
+	bbs := Backbones(pins, 5, Options{BendWeight: 2})
+	if len(bbs) < 2 {
+		t.Fatalf("want >= 2 backbones, got %d", len(bbs))
+	}
+	seen := map[string]bool{}
+	opt := Options{BendWeight: 2}
+	prev := -1
+	for i, b := range bbs {
+		if !b.Connected(pins) {
+			t.Errorf("backbone %d disconnected", i)
+		}
+		key := b.String()
+		if seen[key] {
+			t.Errorf("backbone %d duplicates another", i)
+		}
+		seen[key] = true
+		if c := opt.Cost(b); c < prev {
+			t.Errorf("backbones not sorted by cost: %d after %d", c, prev)
+		} else {
+			prev = c
+		}
+	}
+	// First backbone is the best one.
+	if bbs[0].WireLength() > bbs[len(bbs)-1].WireLength()+opt.BendWeight*10 {
+		t.Error("first backbone should be near-optimal")
+	}
+}
+
+func TestBackbonesDegenerate(t *testing.T) {
+	if got := Backbones([]geom.Point{geom.Pt(0, 0)}, 3, Options{}); got != nil {
+		t.Errorf("single pin backbones = %v", got)
+	}
+	if got := Backbones([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, 0, Options{}); got != nil {
+		t.Errorf("k=0 backbones = %v", got)
+	}
+	// Two pins on a line: exactly one distinct topology.
+	got := Backbones([]geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}, 4, Options{})
+	if len(got) != 1 {
+		t.Errorf("collinear two-pin backbones = %d, want 1", len(got))
+	}
+}
+
+func TestBackbonesTwoPinLShapes(t *testing.T) {
+	// Diagonal two-pin nets have two L orientations; expect both.
+	got := Backbones([]geom.Point{geom.Pt(0, 0), geom.Pt(4, 3)}, 4, Options{})
+	if len(got) < 2 {
+		t.Fatalf("want >= 2 L orientations, got %d", len(got))
+	}
+	for _, b := range got {
+		if b.WireLength() != 7 {
+			t.Errorf("two-pin backbone WL = %d, want 7", b.WireLength())
+		}
+	}
+}
+
+func TestMaxSteinerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pins := make([]geom.Point, 8)
+	for i := range pins {
+		pins[i] = geom.Pt(r.Intn(30), r.Intn(30))
+	}
+	bounded := Iterated1Steiner(pins, Options{MaxSteiner: 1})
+	if !bounded.Connected(pins) {
+		t.Fatal("bounded tree disconnected")
+	}
+}
+
+func BenchmarkIterated1Steiner8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pins := make([]geom.Point, 8)
+	for i := range pins {
+		pins[i] = geom.Pt(r.Intn(40), r.Intn(40))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Iterated1Steiner(pins, Options{BendWeight: 2})
+	}
+}

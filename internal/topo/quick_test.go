@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/ident"
+	"repro/internal/signal"
+)
+
+// TestEquivalentTranslationProperty: for any base bit shape and any
+// translation offsets, Algorithm 1 must produce an equivalent topology for
+// every translated copy, with identical wirelength and bends.
+func TestEquivalentTranslationProperty(t *testing.T) {
+	f := func(seed int64, nBits uint8, dx, dy int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(nBits)%4
+		// Random base bit with 2-4 pins.
+		np := 2 + r.Intn(3)
+		base := signal.Bit{Driver: 0}
+		for k := 0; k < np; k++ {
+			base.Pins = append(base.Pins, signal.Pin{Loc: geom.Pt(100+r.Intn(12), 100+r.Intn(12))})
+		}
+		// Skip degenerate duplicate-pin shapes: their SV ties make the
+		// cross-bit pin mapping ambiguous by design.
+		locs := geom.DedupPoints(base.PinLocs())
+		if len(locs) != np {
+			return true
+		}
+		g := signal.Group{}
+		step := geom.Pt(int(dx)%3, 1+int(dy)%3)
+		for b := 0; b < n; b++ {
+			bit := signal.Bit{Driver: 0}
+			off := geom.Pt(step.X*b, step.Y*b)
+			for _, p := range base.Pins {
+				bit.Pins = append(bit.Pins, signal.Pin{Loc: p.Loc.Add(off)})
+			}
+			g.Bits = append(g.Bits, bit)
+		}
+		objs := ident.Partition(0, &g)
+		if len(objs) != 1 {
+			return true // collinear pins can change SVs under translation
+		}
+		obj := objs[0]
+		rep := obj.RepBit(&g)
+		bbs := Backbones(&g, &obj, Options{})
+		if len(bbs) == 0 {
+			return false
+		}
+		for k, bi := range obj.BitIdx {
+			eq, ok := Equivalent(bbs[0], rep, &g.Bits[bi], obj.PinMap[k])
+			if !ok {
+				return false
+			}
+			if !eq.Connected(g.Bits[bi].PinLocs()) {
+				return false
+			}
+			if eq.WireLength() != bbs[0].WireLength() || eq.Bends() != bbs[0].Bends() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatioSelfIdentityProperty: any topology compared with itself has
+// ratio exactly 1, and PairIrregularity of ratio 1 on adjacent layers is 0.
+func TestRatioSelfIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np := 2 + r.Intn(4)
+		b := signal.Bit{Driver: 0}
+		for k := 0; k < np; k++ {
+			b.Pins = append(b.Pins, signal.Pin{Loc: geom.Pt(r.Intn(15), r.Intn(15))})
+		}
+		var tr geom.Tree
+		locs := b.PinLocs()
+		for i := 1; i < len(locs); i++ {
+			tr.Append(geom.LShape(locs[0], locs[i])...)
+		}
+		if len(tr.Segs) == 0 {
+			return true
+		}
+		if Ratio(tr, &b, tr, &b) != 1 {
+			return false
+		}
+		return PairIrregularity(1, 20, 2000, 1, 4) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftTreePreservesConnectivityProperty: U-shifting the longest trunk
+// never disconnects the tree and always adds exactly 2|d| wirelength when
+// the shifted run does not overlap remaining segments.
+func TestShiftTreePreservesConnectivityProperty(t *testing.T) {
+	f := func(seed int64, dRaw int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + int(dRaw)%3
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			d = 1
+		}
+		var pins []geom.Point
+		np := 2 + r.Intn(3)
+		for k := 0; k < np; k++ {
+			pins = append(pins, geom.Pt(r.Intn(10), r.Intn(10)))
+		}
+		pins = geom.DedupPoints(pins)
+		if len(pins) < 2 {
+			return true
+		}
+		var tr geom.Tree
+		for i := 1; i < len(pins); i++ {
+			tr.Append(geom.LShape(pins[i-1], pins[i])...)
+		}
+		shifted, ok := shiftTree(tr, pins, d)
+		if !ok {
+			return true // nothing long enough to shift
+		}
+		if !shifted.Connected(pins) {
+			return false
+		}
+		// Union effects can absorb the jog — or even more, when the
+		// shifted run lands on an existing parallel segment — so the only
+		// upper bound is the two jogs.
+		added := shifted.WireLength() - tr.WireLength()
+		return added <= 2*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// RCs returns the rectilinear connections of the topology: canonical
+// segments additionally split at the bit's pin locations, so every RC runs
+// between two features (pins, corners, or junctions).
+func RCs(t geom.Tree, pins []geom.Point) []geom.Seg {
+	var out []geom.Seg
+	for _, s := range t.Canon().Segs {
+		n := s.Norm()
+		cuts := []geom.Point{n.A, n.B}
+		for _, p := range pins {
+			if n.Contains(p) && p != n.A && p != n.B {
+				cuts = append(cuts, p)
+			}
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i].Less(cuts[j]) })
+		for i := 0; i+1 < len(cuts); i++ {
+			if cuts[i] != cuts[i+1] {
+				out = append(out, geom.Seg{A: cuts[i], B: cuts[i+1]})
+			}
+		}
+	}
+	return out
+}
+
+// feature is a matchable topology point: a pin or a bending point, with its
+// driver-weighted similarity vector (§III-B3).
+type feature struct {
+	p  geom.Point
+	sv signal.SV
+}
+
+// features lists the distinct RC endpoints of the topology with weighted
+// SVs computed against the bit's pins.
+func features(rcs []geom.Seg, bit *signal.Bit) []feature {
+	w := signal.DriverWeightFor(bit)
+	pinIdx := make(map[geom.Point]int, len(bit.Pins))
+	for i, p := range bit.Pins {
+		if _, seen := pinIdx[p.Loc]; !seen {
+			pinIdx[p.Loc] = i
+		}
+	}
+	seen := make(map[geom.Point]bool)
+	var out []feature
+	add := func(p geom.Point) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		var sv signal.SV
+		if i, isPin := pinIdx[p]; isPin {
+			sv = bit.WeightedPinSV(i, w)
+		} else {
+			sv = signal.WeightedPointSV(p, bit, w)
+		}
+		out = append(out, feature{p, sv})
+	}
+	for _, s := range rcs {
+		add(s.A)
+		add(s.B)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].p.Less(out[j].p) })
+	return out
+}
+
+// Ratio computes the regularity ratio of two topologies (Eq. 2): pins and
+// bending points are matched across the topologies by closest weighted SV;
+// the ratio is the number of RCs whose two endpoints map onto an RC of the
+// other topology, divided by the smaller RC count. The result is symmetric
+// and lies in [0, 1]; 1 means the topologies share one structure.
+func Ratio(t1 geom.Tree, bit1 *signal.Bit, t2 geom.Tree, bit2 *signal.Bit) float64 {
+	rc1 := RCs(t1, bit1.PinLocs())
+	rc2 := RCs(t2, bit2.PinLocs())
+	if len(rc1) == 0 || len(rc2) == 0 {
+		if len(rc1) == 0 && len(rc2) == 0 {
+			return 1
+		}
+		return 0
+	}
+	f1 := features(rc1, bit1)
+	f2 := features(rc2, bit2)
+	m12 := matchedRCs(rc1, f1, rc2, f2)
+	m21 := matchedRCs(rc2, f2, rc1, f1)
+	matched := m12
+	if m21 > matched {
+		matched = m21
+	}
+	minRC := len(rc1)
+	if len(rc2) < minRC {
+		minRC = len(rc2)
+	}
+	if matched > minRC {
+		matched = minRC
+	}
+	return float64(matched) / float64(minRC)
+}
+
+// matchedRCs maps every feature of side 1 to its closest-SV feature on side
+// 2 and counts the RCs of side 1 whose mapped endpoints form an RC of side
+// 2.
+func matchedRCs(rc1 []geom.Seg, f1 []feature, rc2 []geom.Seg, f2 []feature) int {
+	mapped := make(map[geom.Point]geom.Point, len(f1))
+	for _, f := range f1 {
+		best := 0
+		bestD := f.sv.L1(f2[0].sv)
+		for i := 1; i < len(f2); i++ {
+			if d := f.sv.L1(f2[i].sv); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		mapped[f.p] = f2[best].p
+	}
+	rcSet := make(map[[2]geom.Point]bool, len(rc2))
+	for _, s := range rc2 {
+		n := s.Norm()
+		rcSet[[2]geom.Point{n.A, n.B}] = true
+	}
+	count := 0
+	for _, s := range rc1 {
+		a, b := mapped[s.A], mapped[s.B]
+		if a == b {
+			continue
+		}
+		if b.Less(a) {
+			a, b = b, a
+		}
+		if rcSet[[2]geom.Point{a, b}] {
+			count++
+		}
+	}
+	return count
+}
+
+// PairIrregularity converts a regularity ratio into the cost contribution
+// c(i,j,p,q) of formulation (3a): the reciprocal of the ratio, scaled by
+// weight, with noShare charged when the topologies share no RCs at all
+// (a large penalty that must stay below the non-routing penalty M), plus a
+// layer-difference penalty when the shared trunks land on non-adjacent
+// layers.
+func PairIrregularity(ratio float64, weight float64, noShare float64, layerDist int, layerPenalty float64) float64 {
+	if ratio <= 0 {
+		return noShare + layerPenalty*float64(layerDist)
+	}
+	cost := weight * (1/ratio - 1)
+	if layerDist > 1 {
+		cost += layerPenalty * float64(layerDist-1)
+	}
+	return cost
+}

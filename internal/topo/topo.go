@@ -1,0 +1,365 @@
+// Package topo implements Streak's synergistic topology generation
+// (§III-B): backbone construction per routing object, equivalent topology
+// generation for every member bit via similarity-vector pin mapping
+// (Algorithm 1), regularity-ratio evaluation between object topologies
+// (Eq. 2), and expansion of 2-D topologies into 3-D layer-assigned
+// candidates.
+package topo
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ident"
+	"repro/internal/signal"
+	"repro/internal/steiner"
+)
+
+// Options tunes topology generation.
+type Options struct {
+	// NumBackbones is how many distinct backbone topologies to generate
+	// per object. Default 4.
+	NumBackbones int
+	// BendWeight is the per-bend cost during backbone construction.
+	// Default 2.
+	BendWeight int
+	// ViaWeight is the per-via-level cost used in candidate costs.
+	// Default 2.
+	ViaWeight int
+	// MaxLayerPairs bounds how many (H layer, V layer) combinations are
+	// expanded per 2-D topology. Default 4.
+	MaxLayerPairs int
+}
+
+// withDefaults fills zero fields with default values.
+func (o Options) withDefaults() Options {
+	if o.NumBackbones == 0 {
+		o.NumBackbones = 4
+	}
+	if o.BendWeight == 0 {
+		o.BendWeight = 2
+	}
+	if o.ViaWeight == 0 {
+		o.ViaWeight = 2
+	}
+	if o.MaxLayerPairs == 0 {
+		o.MaxLayerPairs = 6
+	}
+	return o
+}
+
+// Backbones generates backbone topologies for the object from its
+// representative bit (§III-B1).
+func Backbones(g *signal.Group, obj *ident.Object, opt Options) []geom.Tree {
+	opt = opt.withDefaults()
+	rep := obj.RepBit(g)
+	return steiner.Backbones(rep.PinLocs(), opt.NumBackbones,
+		steiner.Options{BendWeight: opt.BendWeight})
+}
+
+// Equivalent maps a backbone topology of the representative bit onto
+// another member bit (Algorithm 1). Pins map through pinMap; bending points
+// inherit their X from the mapped pin sharing their backbone X and their Y
+// from the mapped pin sharing their backbone Y (Hanan alignment, Fig. 6).
+// ok is false when the mapped tree fails to connect the bit's pins — the
+// caller should then fall back to a fresh per-bit topology.
+func Equivalent(backbone geom.Tree, rep, bit *signal.Bit, pinMap []int) (t geom.Tree, ok bool) {
+	// LUT from each distinct backbone pin coordinate to the mapped bit
+	// coordinate (lines 1-2 of Algorithm 1: in our grid the LUT can key on
+	// coordinates directly because backbone nodes lie on the Hanan grid of
+	// the representative pins).
+	mapX := make(map[int]int)
+	mapY := make(map[int]int)
+	pinAt := make(map[geom.Point]int) // rep pin location -> rep pin index
+	for i, p := range rep.Pins {
+		if _, seen := mapX[p.Loc.X]; !seen {
+			mapX[p.Loc.X] = bit.Pins[pinMap[i]].Loc.X
+		}
+		if _, seen := mapY[p.Loc.Y]; !seen {
+			mapY[p.Loc.Y] = bit.Pins[pinMap[i]].Loc.Y
+		}
+		if _, seen := pinAt[p.Loc]; !seen {
+			pinAt[p.Loc] = i
+		}
+	}
+	mapPt := func(p geom.Point) (geom.Point, bool) {
+		if i, isPin := pinAt[p]; isPin {
+			return bit.Pins[pinMap[i]].Loc, true
+		}
+		x, okx := mapX[p.X]
+		y, oky := mapY[p.Y]
+		if !okx || !oky {
+			return geom.Point{}, false
+		}
+		return geom.Pt(x, y), true
+	}
+	var out geom.Tree
+	for _, s := range backbone.Canon().Segs {
+		a, oka := mapPt(s.A)
+		b, okb := mapPt(s.B)
+		if !oka || !okb {
+			return geom.Tree{}, false
+		}
+		if a.X != b.X && a.Y != b.Y {
+			return geom.Tree{}, false // mapping broke axis alignment
+		}
+		if a != b {
+			out.Append(geom.S(a, b))
+		}
+	}
+	if !out.Connected(bit.PinLocs()) {
+		return geom.Tree{}, false
+	}
+	return out, true
+}
+
+// ObjectTopology is one 2-D routing solution for an object: the backbone
+// plus an equivalent (or fallback) topology per member bit.
+type ObjectTopology struct {
+	// Backbone is the representative topology.
+	Backbone geom.Tree
+	// BitTrees holds one topology per member of the object, in BitIdx
+	// order.
+	BitTrees []geom.Tree
+	// Equivalent is false for bits where Algorithm 1 failed and a fresh
+	// per-bit Steiner tree was used instead.
+	Equivalent []bool
+}
+
+// WireLength returns the total wirelength over all member bits.
+func (ot *ObjectTopology) WireLength() int {
+	wl := 0
+	for _, t := range ot.BitTrees {
+		wl += t.WireLength()
+	}
+	return wl
+}
+
+// ObjectTopologies builds the 2-D candidate topologies for an object: one
+// ObjectTopology per backbone, with equivalent topologies generated for
+// every member bit, plus shifted "detour" variants of the best backbone
+// (the wire-synthesis escape valve: a U-jog of the main trunk lets the
+// solver trade a little wirelength for capacity, which is where Streak's
+// WL overhead versus manual designs comes from in Table I).
+func ObjectTopologies(g *signal.Group, obj *ident.Object, opt Options) []ObjectTopology {
+	opt = opt.withDefaults()
+	rep := obj.RepBit(g)
+	var out []ObjectTopology
+	for _, bb := range Backbones(g, obj, opt) {
+		ot := ObjectTopology{Backbone: bb}
+		for k, bi := range obj.BitIdx {
+			bit := &g.Bits[bi]
+			t, ok := Equivalent(bb, rep, bit, obj.PinMap[k])
+			if !ok {
+				t = steiner.Iterated1Steiner(bit.PinLocs(), steiner.Options{BendWeight: opt.BendWeight})
+			}
+			ot.BitTrees = append(ot.BitTrees, t)
+			ot.Equivalent = append(ot.Equivalent, ok)
+		}
+		out = append(out, ot)
+	}
+	if len(out) > 0 {
+		var pinSets [][]geom.Point
+		for _, bi := range obj.BitIdx {
+			pinSets = append(pinSets, g.Bits[bi].PinLocs())
+		}
+		for _, d := range []int{1, -1, 2, -2} {
+			if sv, ok := shiftTopology(out[0], rep.PinLocs(), pinSets, d); ok {
+				out = append(out, sv)
+			}
+		}
+	}
+	return out
+}
+
+// shiftTopology U-shifts the longest trunk segment of every bit tree (and
+// the backbone) perpendicular by d G-cells, preserving connectivity: the
+// segment a-b becomes a -> a+d -> b+d -> b. All bits shift identically so
+// the object's regularity is preserved. Returns ok=false when any tree has
+// no segment to shift.
+func shiftTopology(ot ObjectTopology, repPins []geom.Point, pinSets [][]geom.Point, d int) (ObjectTopology, bool) {
+	out := ObjectTopology{Equivalent: append([]bool(nil), ot.Equivalent...)}
+	var ok bool
+	if out.Backbone, ok = shiftTree(ot.Backbone, repPins, d); !ok {
+		return ObjectTopology{}, false
+	}
+	for k, t := range ot.BitTrees {
+		st, ok := shiftTree(t, pinSets[k], d)
+		if !ok {
+			return ObjectTopology{}, false
+		}
+		out.BitTrees = append(out.BitTrees, st)
+	}
+	return out, true
+}
+
+// shiftTree U-shifts the longest canonical segment of the tree. Segments
+// are first split at pin locations so no pin can sit in the interior of
+// the moved run — otherwise the shift would disconnect it.
+func shiftTree(t geom.Tree, pins []geom.Point, d int) (geom.Tree, bool) {
+	segs := splitSegsAt(t.Canon().Segs, pins)
+	best := -1
+	for i, s := range segs {
+		if best == -1 || s.Len() > segs[best].Len() {
+			best = i
+		}
+	}
+	if best == -1 || segs[best].Len() < 2 {
+		return geom.Tree{}, false
+	}
+	s := segs[best].Norm()
+	var off geom.Point
+	if s.Horizontal() {
+		off = geom.Pt(0, d)
+	} else {
+		off = geom.Pt(d, 0)
+	}
+	a, b := s.A.Add(off), s.B.Add(off)
+	var out geom.Tree
+	for i, seg := range segs {
+		if i != best {
+			out.Append(seg)
+		}
+	}
+	out.Append(geom.S(s.A, a), geom.S(a, b), geom.S(b, s.B))
+	if !out.Connected(pins) {
+		return geom.Tree{}, false
+	}
+	return out, true
+}
+
+// splitSegsAt cuts segments at any of the given points lying in their
+// interiors.
+func splitSegsAt(segs []geom.Seg, pts []geom.Point) []geom.Seg {
+	var out []geom.Seg
+	for _, s := range segs {
+		n := s.Norm()
+		cuts := []geom.Point{n.A, n.B}
+		for _, p := range pts {
+			if n.Contains(p) && p != n.A && p != n.B {
+				cuts = append(cuts, p)
+			}
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i].Less(cuts[j]) })
+		for i := 0; i+1 < len(cuts); i++ {
+			if cuts[i] != cuts[i+1] {
+				out = append(out, geom.Seg{A: cuts[i], B: cuts[i+1]})
+			}
+		}
+	}
+	return out
+}
+
+// Candidate is a 3-D routing candidate for an object: a 2-D object
+// topology with its horizontal trunks assigned to one H layer and vertical
+// trunks to one V layer (§III-B2 keeps each direction on a single
+// unidirectional layer for regularity).
+type Candidate struct {
+	// Topo is the underlying 2-D solution.
+	Topo ObjectTopology
+	// TopoIdx identifies the underlying 2-D topology within the object's
+	// topology list, letting callers cache per-2-D-pair computations
+	// across layer variants.
+	TopoIdx int
+	// HLayer and VLayer are the assigned layer indices.
+	HLayer, VLayer int
+	// WL is the total wirelength over member bits (G-cell units).
+	WL int
+	// Vias is the estimated via count: per bit, each bending point needs a
+	// stack spanning |HLayer - VLayer| levels.
+	Vias int
+	// Cost is WL + ViaWeight * Vias, the c(i,j) of formulation (3).
+	Cost int
+	// Usage maps 3-D edges to the number of tracks this candidate needs,
+	// the u_el(i,j) of constraint (3c).
+	Usage map[EdgeKey]int
+}
+
+// EdgeKey identifies a 3-D grid edge.
+type EdgeKey struct {
+	// Layer is the metal layer index.
+	Layer int
+	// Idx is the dense edge index on that layer.
+	Idx int
+}
+
+// Expand3D turns 2-D object topologies into 3-D candidates on the grid,
+// enumerating (H layer, V layer) pairs in increasing via-distance order.
+// Candidates whose segments leave the grid are dropped. Results are sorted
+// by Cost.
+func Expand3D(gr *grid.Grid, topos []ObjectTopology, opt Options) []Candidate {
+	opt = opt.withDefaults()
+	pairs := layerPairs(gr, opt.MaxLayerPairs)
+	var out []Candidate
+	for ti, ot := range topos {
+		for _, pr := range pairs {
+			c, ok := buildCandidate(gr, ot, pr[0], pr[1], opt)
+			if ok {
+				c.TopoIdx = ti
+				out = append(out, c)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// layerPairs lists (hLayer, vLayer) combinations sorted by layer distance
+// (preferring neighboring layers to save vias, §III-B2), capped at maxPairs.
+func layerPairs(gr *grid.Grid, maxPairs int) [][2]int {
+	var pairs [][2]int
+	for _, h := range gr.HLayers() {
+		for _, v := range gr.VLayers() {
+			pairs = append(pairs, [2]int{h, v})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		di := iabs(pairs[i][0] - pairs[i][1])
+		dj := iabs(pairs[j][0] - pairs[j][1])
+		if di != dj {
+			return di < dj
+		}
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	if len(pairs) > maxPairs {
+		pairs = pairs[:maxPairs]
+	}
+	return pairs
+}
+
+func buildCandidate(gr *grid.Grid, ot ObjectTopology, hl, vl int, opt Options) (Candidate, bool) {
+	c := Candidate{Topo: ot, HLayer: hl, VLayer: vl, Usage: make(map[EdgeKey]int)}
+	layerDist := iabs(hl - vl)
+	if layerDist == 0 {
+		layerDist = 1
+	}
+	for _, t := range ot.BitTrees {
+		for _, s := range t.Canon().Segs {
+			l := hl
+			if s.Vertical() && s.Len() > 0 {
+				l = vl
+			}
+			if !gr.SegFits(l, s) {
+				return Candidate{}, false
+			}
+			gr.SegEdges(l, s, func(idx int) {
+				c.Usage[EdgeKey{l, idx}]++
+			})
+		}
+		c.WL += t.WireLength()
+		c.Vias += t.Bends() * layerDist
+	}
+	c.Cost = c.WL + opt.ViaWeight*c.Vias
+	return c, true
+}
+
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+// Package viz renders routed designs as SVG: one color per signal group,
+// one stroke style per layer pair, pins as dots, drivers as squares. The
+// images make topology regularity visually obvious — parallel trunks with
+// concurrent bending points, the property the whole flow optimizes.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// CellPx is the pixel size of one G-cell. Default 8.
+	CellPx int
+	// ShowUnrouted draws dashed bounding boxes for unrouted bits.
+	ShowUnrouted bool
+	// OnlyGroups restricts rendering to the listed group indices (nil =
+	// all groups).
+	OnlyGroups []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellPx == 0 {
+		o.CellPx = 8
+	}
+	return o
+}
+
+// palette is a color-blind-friendly cycle for group coloring.
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#999999",
+}
+
+// WriteSVG renders the routing of a design to w.
+func WriteSVG(w io.Writer, d *signal.Design, r *route.Routing, opt Options) error {
+	opt = opt.withDefaults()
+	px := opt.CellPx
+	width := (d.Grid.W + 1) * px
+	height := (d.Grid.H + 1) * px
+
+	var only map[int]bool
+	if opt.OnlyGroups != nil {
+		only = make(map[int]bool)
+		for _, gi := range opt.OnlyGroups {
+			only[gi] = true
+		}
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+
+	// Light G-cell grid.
+	fmt.Fprintf(w, `<g stroke="#eeeeee" stroke-width="0.5">`+"\n")
+	for x := 0; x <= d.Grid.W; x++ {
+		fmt.Fprintf(w, `<line x1="%d" y1="0" x2="%d" y2="%d"/>`+"\n", x*px, x*px, height)
+	}
+	for y := 0; y <= d.Grid.H; y++ {
+		fmt.Fprintf(w, `<line x1="0" y1="%d" x2="%d" y2="%d"/>`+"\n", y*px, width, y*px)
+	}
+	fmt.Fprintln(w, `</g>`)
+
+	// Wires, one <g> per signal group.
+	for gi := range d.Groups {
+		if only != nil && !only[gi] {
+			continue
+		}
+		color := palette[gi%len(palette)]
+		fmt.Fprintf(w, `<g stroke="%s" stroke-width="2" fill="none" stroke-linecap="round">`+"\n", color)
+		for bi := range d.Groups[gi].Bits {
+			br := r.Bits[gi][bi]
+			if !br.Routed {
+				continue
+			}
+			segs := br.Tree.Canon().Segs
+			sort.Slice(segs, func(a, b int) bool {
+				if segs[a].A != segs[b].A {
+					return segs[a].A.Less(segs[b].A)
+				}
+				return segs[a].B.Less(segs[b].B)
+			})
+			for _, s := range segs {
+				dash := ""
+				if br.HLayer > 0 && s.Horizontal() || br.VLayer > 1 && s.Vertical() && s.Len() > 0 {
+					dash = ` stroke-dasharray="4 2"` // upper-layer trunks dashed
+				}
+				fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d"%s/>`+"\n",
+					s.A.X*px+px/2, s.A.Y*px+px/2, s.B.X*px+px/2, s.B.Y*px+px/2, dash)
+			}
+		}
+		fmt.Fprintln(w, `</g>`)
+
+		// Pins: drivers as squares, sinks as dots.
+		fmt.Fprintf(w, `<g fill="%s">`+"\n", color)
+		for bi := range d.Groups[gi].Bits {
+			bit := &d.Groups[gi].Bits[bi]
+			for pi, p := range bit.Pins {
+				cx, cy := p.Loc.X*px+px/2, p.Loc.Y*px+px/2
+				if pi == bit.Driver {
+					fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d"/>`+"\n",
+						cx-px/4, cy-px/4, px/2, px/2)
+				} else {
+					fmt.Fprintf(w, `<circle cx="%d" cy="%d" r="%d"/>`+"\n", cx, cy, px/4)
+				}
+			}
+		}
+		fmt.Fprintln(w, `</g>`)
+
+		if opt.ShowUnrouted {
+			for bi := range d.Groups[gi].Bits {
+				if r.Bits[gi][bi].Routed {
+					continue
+				}
+				locs := d.Groups[gi].Bits[bi].PinLocs()
+				minX, minY, maxX, maxY := locs[0].X, locs[0].Y, locs[0].X, locs[0].Y
+				for _, p := range locs[1:] {
+					minX, maxX = min(minX, p.X), max(maxX, p.X)
+					minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+				}
+				fmt.Fprintf(w,
+					`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s" stroke-dasharray="2 2"/>`+"\n",
+					minX*px, minY*px, (maxX-minX+1)*px, (maxY-minY+1)*px, color)
+			}
+		}
+	}
+
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pd"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+func vizDesign() (*signal.Design, *route.Problem, *route.Routing) {
+	d := &signal.Design{
+		Name: "viz",
+		Grid: signal.GridSpec{W: 20, H: 20, NumLayers: 4, EdgeCap: 4},
+		Groups: []signal.Group{
+			{Bits: []signal.Bit{
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(2, 2)}, {Loc: geom.Pt(12, 2)}}},
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(2, 3)}, {Loc: geom.Pt(12, 3)}}},
+			}},
+			{Bits: []signal.Bit{
+				{Driver: 0, Pins: []signal.Pin{{Loc: geom.Pt(4, 8)}, {Loc: geom.Pt(10, 14)}}},
+			}},
+		},
+	}
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res := pd.Solve(p)
+	return d, p, p.ExtractRouting(res.Assignment)
+}
+
+func TestWriteSVG(t *testing.T) {
+	d, _, r := vizDesign()
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, r, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// Two groups -> two distinct colors.
+	if !strings.Contains(out, palette[0]) || !strings.Contains(out, palette[1]) {
+		t.Error("group colors missing")
+	}
+	// Drivers are squares, sinks circles.
+	if !strings.Contains(out, "<rect") || !strings.Contains(out, "<circle") {
+		t.Error("pin markers missing")
+	}
+	// Routed wires appear as lines beyond the grid lines.
+	if strings.Count(out, "<line") <= (d.Grid.W+1)+(d.Grid.H+1) {
+		t.Error("no wire lines rendered")
+	}
+}
+
+func TestWriteSVGOnlyGroups(t *testing.T) {
+	d, _, r := vizDesign()
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, r, Options{OnlyGroups: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, palette[0]) {
+		t.Error("group 0 rendered despite OnlyGroups filter")
+	}
+	if !strings.Contains(out, palette[1]) {
+		t.Error("group 1 missing")
+	}
+}
+
+func TestWriteSVGShowUnrouted(t *testing.T) {
+	d, p, _ := vizDesign()
+	// Nothing routed: unrouted boxes drawn when requested.
+	empty := p.NewRouting()
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, empty, Options{ShowUnrouted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stroke-dasharray=\"2 2\"") {
+		t.Error("unrouted boxes missing")
+	}
+	var sb2 strings.Builder
+	if err := WriteSVG(&sb2, d, empty, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "stroke-dasharray=\"2 2\"") {
+		t.Error("unrouted boxes drawn without ShowUnrouted")
+	}
+}
+
+func TestWriteSVGCellSize(t *testing.T) {
+	d, _, r := vizDesign()
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, r, Options{CellPx: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `width="336"`) { // (20+1)*16
+		t.Errorf("unexpected canvas size:\n%s", sb.String()[:120])
+	}
+}

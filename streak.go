@@ -1,0 +1,153 @@
+// Package streak is a from-scratch reproduction of "Streak: Synergistic
+// Topology Generation and Route Synthesis for On-Chip Performance-Critical
+// Signal Groups" (Liu et al., DAC 2017 / TCAD 2018).
+//
+// Streak routes signal groups — bundles of performance-critical bits whose
+// pins sit in adjacent locations and which must share common routing
+// topologies for inter-bit regularity. The flow identifies isomorphic bits
+// into routing objects, generates backbone Steiner topologies with
+// equivalent per-bit copies, selects one 3-D layer-assigned candidate per
+// object under edge-capacity constraints (by a fast primal-dual algorithm
+// or an exact ILP), and post-optimizes with congestion-driven clustering
+// and source-to-sink distance refinement.
+//
+// Quick start:
+//
+//	design := streak.GenerateIndustry(1)          // or streak.LoadDesign(path)
+//	result, err := streak.Route(design, streak.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Printf("routed %.2f%% of groups, WL %.0f, Avg(Reg) %.2f%%\n",
+//	    result.Metrics.RouteFrac*100, result.Metrics.WL, result.Metrics.AvgReg*100)
+package streak
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/postopt"
+	"repro/internal/report"
+	"repro/internal/route"
+	"repro/internal/signal"
+	"repro/internal/viz"
+)
+
+// Design model types. A Design is a routing grid spec plus signal groups;
+// every Group holds Bits (nets), every Bit holds Pins with a driver index.
+type (
+	// Design is a complete routing problem.
+	Design = signal.Design
+	// Group is a signal group (Definition 1 of the paper).
+	Group = signal.Group
+	// Bit is one signal net: a driver pin plus sinks.
+	Bit = signal.Bit
+	// Pin is one terminal at a G-cell location.
+	Pin = signal.Pin
+	// GridSpec describes the routing fabric of a design.
+	GridSpec = signal.GridSpec
+	// Blockage reduces edge capacity inside a rectangle on one layer.
+	Blockage = signal.Blockage
+)
+
+// Flow types.
+type (
+	// Options configures a Streak run; see DefaultOptions.
+	Options = core.Options
+	// Result carries the routing, usage, statistics and metrics of a run.
+	Result = core.Result
+	// Method selects the candidate-selection solver.
+	Method = core.Method
+	// Metrics is one evaluation row (Route %, WL, Avg(Reg), Vio(dst), ...).
+	Metrics = metrics.Metrics
+	// BenchmarkSpec parametrizes the synthetic industrial benchmark
+	// generator.
+	BenchmarkSpec = benchgen.Spec
+)
+
+// Solver methods.
+const (
+	// PrimalDual is the paper's fast flow (Algorithm 2).
+	PrimalDual = core.PrimalDual
+	// ILP solves formulation (3) exactly.
+	ILP = core.ILP
+	// Hierarchical is the divide-and-conquer exact flow (paper §VI).
+	Hierarchical = core.Hierarchical
+)
+
+// DefaultOptions returns the full Streak flow configuration: primal-dual
+// selection followed by the complete post-optimization stage.
+func DefaultOptions() Options {
+	return Options{
+		Method:     PrimalDual,
+		PostOpt:    true,
+		Clustering: true,
+		Refinement: true,
+	}
+}
+
+// Route runs the Streak flow on a design.
+func Route(d *Design, opt Options) (*Result, error) {
+	return core.Run(d, opt)
+}
+
+// LoadDesign reads a design from a JSON file (see Design.SaveFile).
+func LoadDesign(path string) (*Design, error) {
+	return signal.LoadFile(path)
+}
+
+// GenerateIndustry generates the synthetic stand-in for the paper's
+// benchmark Industry<n> (n in 1..7); see internal/benchgen for how the
+// published statistics are matched.
+func GenerateIndustry(n int) *Design {
+	return benchgen.Industry(n).Generate()
+}
+
+// IndustrySpec returns the generator spec of benchmark Industry<n> so
+// callers can scale it (Spec fields are documented in the benchgen
+// package).
+func IndustrySpec(n int) BenchmarkSpec {
+	return benchgen.Industry(n)
+}
+
+// ManualBaseline routes the design with the capacity-oblivious sequential
+// baseline that stands in for the paper's manual designs: 100 % routed,
+// minimal wirelength, overflow permitted.
+func ManualBaseline(d *Design) (*Result, error) {
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b := baseline.Route(p)
+	res := &Result{
+		Problem: p,
+		Routing: b.Routing,
+		Usage:   b.Usage,
+		Runtime: b.Runtime,
+	}
+	res.Metrics = metrics.Compute(d, b.Routing, b.Usage, postopt.Options{})
+	res.Metrics.Runtime = b.Runtime
+	res.VioBefore = res.Metrics.VioDst
+	return res, nil
+}
+
+// WriteHeatmap renders the result's congestion map as ASCII art (the
+// textual analogue of the paper's Figs. 11 and 12) with at most maxDim
+// rows/columns.
+func WriteHeatmap(w io.Writer, res *Result, maxDim int) {
+	report.Heatmap(w, res.Usage, maxDim)
+}
+
+// WriteSVG renders the result's routed geometry as an SVG image: one
+// color per group, drivers as squares, sinks as dots.
+func WriteSVG(w io.Writer, res *Result) error {
+	return viz.WriteSVG(w, res.Problem.Design, res.Routing, viz.Options{ShowUnrouted: true})
+}
+
+// NewUsageOf re-derives a fresh usage tracker from a result's routing —
+// useful for verifying legality independently of the solver's bookkeeping.
+func NewUsageOf(res *Result) *grid.Usage {
+	return res.Routing.UsageOf(res.Problem.Grid)
+}

@@ -1,0 +1,122 @@
+package streak
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+func scaledDesign(n int, f float64) *Design {
+	return benchgen.Scale(benchgen.Industry(n), f).Generate()
+}
+
+func TestRouteDefaultFlow(t *testing.T) {
+	d := scaledDesign(1, 0.05)
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if res.Metrics.RouteFrac < 0.9 {
+		t.Errorf("route frac = %v, want >= 0.9 on an easy design", res.Metrics.RouteFrac)
+	}
+	if res.Usage.Overflow() != 0 {
+		t.Errorf("Streak must not overflow, got %d", res.Usage.Overflow())
+	}
+	// The reported usage matches a fresh re-derivation from the geometry.
+	if got := NewUsageOf(res).TotalUse(); got != res.Usage.TotalUse() {
+		t.Errorf("usage bookkeeping drifted: %d vs %d", got, res.Usage.TotalUse())
+	}
+}
+
+func TestRouteILPOnTinyDesign(t *testing.T) {
+	d := scaledDesign(1, 0.01)
+	opt := DefaultOptions()
+	opt.Method = ILP
+	opt.ILPWarmStart = true
+	res, err := Route(d, opt)
+	if err != nil {
+		t.Fatalf("Route ILP: %v", err)
+	}
+	pdRes, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && res.Metrics.RoutedGroups < pdRes.Metrics.RoutedGroups {
+		t.Errorf("optimal ILP routed %d groups, PD routed %d", res.Metrics.RoutedGroups, pdRes.Metrics.RoutedGroups)
+	}
+}
+
+func TestManualBaseline(t *testing.T) {
+	d := scaledDesign(3, 0.05)
+	res, err := ManualBaseline(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.RouteFrac != 1 {
+		t.Errorf("manual route frac = %v, want 1", res.Metrics.RouteFrac)
+	}
+}
+
+func TestWriteHeatmap(t *testing.T) {
+	d := scaledDesign(1, 0.03)
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteHeatmap(&sb, res, 24)
+	if !strings.Contains(sb.String(), "legend") {
+		t.Error("heatmap missing legend")
+	}
+}
+
+func TestGenerateIndustryAndSpec(t *testing.T) {
+	d := GenerateIndustry(4)
+	if d.Name != "Industry4" {
+		t.Errorf("name = %s", d.Name)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if IndustrySpec(4).NumGroups != 146 {
+		t.Error("spec mismatch")
+	}
+}
+
+func TestPostOptAblation(t *testing.T) {
+	// Refinement off leaves at least as many violations as refinement on.
+	d := scaledDesign(7, 0.1)
+	off := DefaultOptions()
+	off.Refinement = false
+	resOff, err := Route(d, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOn, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOn.Metrics.VioDst > resOff.Metrics.VioDst {
+		t.Errorf("refinement increased violations: %d > %d", resOn.Metrics.VioDst, resOff.Metrics.VioDst)
+	}
+	// Refinement adds (never removes) wirelength.
+	if resOn.Metrics.WL < resOff.Metrics.WL {
+		t.Errorf("refinement reduced WL: %v < %v", resOn.Metrics.WL, resOff.Metrics.WL)
+	}
+}
+
+func TestRoundTripDesignFile(t *testing.T) {
+	d := scaledDesign(2, 0.02)
+	path := t.TempDir() + "/d.json"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDesign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNets() != d.NumNets() {
+		t.Error("round trip mismatch")
+	}
+}
