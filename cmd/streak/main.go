@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	streak -design path/to/design.json [-method pd|ilp] [-ilptime 60s]
+//	streak -design path/to/design.json [-method pd|ilp|hier] [-ilptime 60s]
+//	       [-fallback] [-timeout 0] [-audit off|warn|strict]
 //	       [-nopost] [-heatmap] [-out routed.json]
 //	streak -industry 3 [-scale 0.2] ...
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,9 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "scale factor for generated benchmarks (0,1]")
 		method     = flag.String("method", "pd", "selection solver: pd, ilp or hier")
 		ilpTime    = flag.Duration("ilptime", 60*time.Second, "ILP time limit")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for the whole flow (0 = none)")
+		fallback   = flag.Bool("fallback", false, "degrade ilp -> hier -> pd on solver failure instead of aborting")
+		auditMode  = flag.String("audit", "off", "post-solve legality audit: off, warn or strict")
 		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
 		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
 		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
@@ -57,22 +62,53 @@ func main() {
 		opt.Clustering = false
 		opt.Refinement = false
 	}
+	opt.Fallback = streak.Fallback{Enabled: *fallback}
+	switch *auditMode {
+	case "off":
+	case "warn":
+		opt.Audit = streak.AuditWarn
+	case "strict":
+		opt.Audit = streak.AuditStrict
+	default:
+		fmt.Fprintf(os.Stderr, "streak: unknown audit mode %q (want off, warn or strict)\n", *auditMode)
+		os.Exit(2)
+	}
 
-	res, err := streak.Route(design, opt)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := streak.RouteCtx(ctx, design, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streak:", err)
-		os.Exit(1)
+		if res == nil {
+			os.Exit(1)
+		}
+		// Strict-audit failures still carry the result; report it below so
+		// the violations can be diagnosed, then exit nonzero.
 	}
 
 	m := res.Metrics
 	fmt.Printf("design      %s (%d groups, %d nets, %d pins)\n", design.Name, m.Groups, m.Nets, m.Pins)
-	fmt.Printf("method      %s\n", opt.Method)
+	fmt.Printf("method      %s%s\n", opt.Method, solverNote(res))
 	fmt.Printf("route       %.2f%% (%d/%d groups)\n", m.RouteFrac*100, m.RoutedGroups, m.Groups)
 	fmt.Printf("wirelength  %.2fe5\n", m.WL/1e5)
 	fmt.Printf("avg(reg)    %.2f%%\n", m.AvgReg*100)
 	fmt.Printf("vio(dst)    %d (before refinement: %d)\n", m.VioDst, res.VioBefore)
 	fmt.Printf("overflow    %d (%d edges)\n", m.Overflow, m.OverflowEdges)
 	fmt.Printf("runtime     %.2fs%s\n", res.Runtime.Seconds(), timedOutNote(res.TimedOut))
+	for _, a := range res.Attempts {
+		fmt.Printf("fallback    %s failed: %s\n", a.Solver, a.Err)
+	}
+	if res.Audit != nil {
+		fmt.Printf("audit       %s\n", res.Audit.Summary())
+		for _, v := range res.Audit.Violations {
+			fmt.Printf("  violation %s\n", v)
+		}
+	}
 	if *heatmap {
 		fmt.Println("\ncongestion map:")
 		streak.WriteHeatmap(os.Stdout, res, 64)
@@ -93,6 +129,17 @@ func main() {
 		}
 		fmt.Printf("svg         %s\n", *svgOut)
 	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// solverNote annotates the method line when the fallback chain degraded.
+func solverNote(res *streak.Result) string {
+	if !res.Degraded {
+		return ""
+	}
+	return fmt.Sprintf(" (degraded to %s)", res.SolverUsed)
 }
 
 func timedOutNote(timedOut bool) string {

@@ -6,14 +6,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/exact"
+	"repro/internal/audit"
 	"repro/internal/grid"
-	"repro/internal/hier"
 	"repro/internal/metrics"
-	"repro/internal/pd"
 	"repro/internal/postopt"
 	"repro/internal/route"
 	"repro/internal/signal"
@@ -75,6 +75,37 @@ type Options struct {
 	HierTiles int
 	// HierTimePerTile bounds each tile ILP (default 5s).
 	HierTimePerTile time.Duration
+	// Fallback configures graceful degradation across solvers (panic,
+	// timeout-with-nothing, oversized model, infeasibility).
+	Fallback Fallback
+	// Audit selects the post-solve legality audit mode. Default AuditOff.
+	Audit AuditMode
+}
+
+// AuditMode selects how the post-solve legality audit behaves.
+type AuditMode int
+
+const (
+	// AuditOff skips the audit.
+	AuditOff AuditMode = iota
+	// AuditWarn runs the audit and attaches the report to the result;
+	// violations do not fail the run.
+	AuditWarn
+	// AuditStrict runs the audit and fails the run on any violation. The
+	// populated result is returned alongside the error for diagnosis.
+	AuditStrict
+)
+
+// String names the mode.
+func (m AuditMode) String() string {
+	switch m {
+	case AuditWarn:
+		return "warn"
+	case AuditStrict:
+		return "strict"
+	default:
+		return "off"
+	}
 }
 
 // Result carries everything a Streak run produced.
@@ -103,57 +134,117 @@ type Result struct {
 	// Runtime is the end-to-end wall-clock time (problem build excluded,
 	// matching the paper's solver CPU column).
 	Runtime time.Duration
+	// SolverUsed names the solver that produced the assignment.
+	SolverUsed string
+	// Degraded is true when a fallback rung — not the requested method —
+	// produced the assignment.
+	Degraded bool
+	// Attempts records the failed rungs of the fallback chain, in order.
+	Attempts []Attempt
+	// Audit is the legality report (nil when Options.Audit is AuditOff).
+	Audit *audit.Report
 }
 
 // Run executes the Streak flow on the design.
 func Run(d *signal.Design, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), d, opt)
+}
+
+// RunCtx is Run honoring the context: cancellation and deadlines propagate
+// into every stage — exact branch and bound (per node and inside long LP
+// relaxations), the hierarchical per-tile solves, the primal-dual commit
+// loop, and the post-optimization cluster/refine loops — so the call
+// returns promptly with ctx's error.
+func RunCtx(ctx context.Context, d *signal.Design, opt Options) (*Result, error) {
 	p, err := route.Build(d, opt.Route)
 	if err != nil {
 		return nil, err
 	}
-	return RunProblem(p, opt)
+	return RunProblemCtx(ctx, p, opt)
 }
 
 // RunProblem executes the flow on a pre-built problem, letting callers
 // reuse one problem across solver comparisons.
 func RunProblem(p *route.Problem, opt Options) (*Result, error) {
+	return RunProblemCtx(context.Background(), p, opt)
+}
+
+// RunProblemCtx is RunProblem honoring the context; see RunCtx. With
+// Options.Fallback enabled a failing solver rung degrades to the next one
+// instead of failing the run; context cancellation is never swallowed.
+// In AuditStrict mode the populated result is returned alongside the audit
+// error so callers can inspect the violations.
+func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result, error) {
+	if opt.Method < PrimalDual || opt.Method > Hierarchical {
+		return nil, fmt.Errorf("core: unknown method %d", opt.Method)
+	}
 	start := time.Now()
 	res := &Result{Problem: p}
 
-	switch opt.Method {
-	case PrimalDual:
-		r := pd.Solve(p)
-		res.Assignment = r.Assignment
-	case ILP:
-		eopt := exact.Options{TimeLimit: opt.ILPTimeLimit, MaxVars: opt.ILPMaxVars}
-		if opt.ILPWarmStart {
-			warm := pd.Solve(p)
-			eopt.WarmStart = &warm.Assignment
+	rungs := opt.chain()
+	solved := false
+	for ri, s := range rungs {
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			// Only cancellation aborts outright; an expired deadline lets
+			// the rung return its best (possibly empty) timed-out outcome.
+			return nil, fmt.Errorf("core: %w", err)
 		}
-		r, err := exact.Solve(p, eopt)
+		out, err := runRung(ctx, s, p, opt)
+		if err == nil && out.TimedOut && out.Assignment.RoutedObjects() == 0 && ri+1 < len(rungs) && ctx.Err() == nil {
+			// A timeout that produced nothing is a failure worth degrading
+			// from — unless the caller's own deadline expired, in which case
+			// every later rung would time out identically and the empty
+			// timed-out result stands. Without further rungs it stays a
+			// (reported) timeout either way.
+			err = fmt.Errorf("core: solver %s timed out with no feasible selection", s.Name())
+		}
 		if err != nil {
+			if cerr := ctx.Err(); errors.Is(cerr, context.Canceled) {
+				// The rung failed because the caller gave up; report the
+				// cancellation, not the rung.
+				return nil, fmt.Errorf("core: %w", cerr)
+			}
+			res.Attempts = append(res.Attempts, Attempt{Solver: s.Name(), Err: err.Error()})
+			if ri+1 < len(rungs) {
+				continue
+			}
 			return nil, err
 		}
-		res.Assignment = r.Assignment
-		res.TimedOut = r.TimedOut
-	case Hierarchical:
-		r := hier.Solve(p, hier.Options{Tiles: opt.HierTiles, TimePerTile: opt.HierTimePerTile})
-		res.Assignment = r.Assignment
-		res.TimedOut = r.TilesTimedOut > 0
-	default:
-		return nil, fmt.Errorf("core: unknown method %d", opt.Method)
+		res.Assignment = out.Assignment
+		res.TimedOut = out.TimedOut
+		res.SolverUsed = s.Name()
+		res.Degraded = ri > 0
+		solved = true
+		break
+	}
+	if !solved {
+		return nil, fmt.Errorf("core: no solver produced a result")
 	}
 
 	res.Routing = p.ExtractRouting(res.Assignment)
 	res.Usage = res.Routing.UsageOf(p.Grid)
 
 	if opt.PostOpt {
+		var postErr error
 		if opt.Clustering {
-			res.Cluster = postopt.ClusterAndRoute(p, res.Routing, res.Usage, opt.Post)
+			stats, err := postopt.ClusterAndRouteCtx(ctx, p, res.Routing, res.Usage, opt.Post)
+			res.Cluster = stats
+			postErr = err
 		}
 		res.VioBefore = postopt.CountViolatedGroups(p.Design, res.Routing, opt.Post)
-		if opt.Refinement {
-			res.Refine = postopt.Refine(p, res.Routing, res.Usage, opt.Post)
+		if postErr == nil && opt.Refinement {
+			stats, err := postopt.RefineCtx(ctx, p, res.Routing, res.Usage, opt.Post)
+			res.Refine = stats
+			postErr = err
+		}
+		if postErr != nil {
+			if !errors.Is(postErr, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("core: %w", postErr)
+			}
+			// An expired deadline truncates post-optimization; the partial
+			// routing stays legal, so — as in the solver legs — it is a
+			// timed-out result, not an error.
+			res.TimedOut = true
 		}
 	} else {
 		res.VioBefore = postopt.CountViolatedGroups(p.Design, res.Routing, opt.Post)
@@ -162,5 +253,15 @@ func RunProblem(p *route.Problem, opt Options) (*Result, error) {
 	res.Runtime = time.Since(start)
 	res.Metrics = metrics.Compute(p.Design, res.Routing, res.Usage, opt.Post)
 	res.Metrics.Runtime = res.Runtime
+
+	if opt.Audit != AuditOff {
+		rep := audit.Check(p.Design, p.Grid, res.Routing)
+		res.Audit = &rep
+		if opt.Audit == AuditStrict {
+			if err := rep.Err(); err != nil {
+				return res, fmt.Errorf("core: %w", err)
+			}
+		}
+	}
 	return res, nil
 }

@@ -7,6 +7,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,15 @@ type pairTerm struct {
 
 // Solve builds the linearized ILP for the problem and solves it.
 func Solve(p *route.Problem, opt Options) (Result, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// SolveCtx is Solve honoring the context: cancellation aborts both model
+// construction and the branch-and-bound search and returns ctx.Err(); a
+// context deadline acts exactly like Options.TimeLimit (whichever expires
+// first wins), so callers can drive the exact leg with one deadline
+// mechanism.
+func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
 	start := time.Now()
 	maxVars := opt.MaxVars
 	if maxVars == 0 {
@@ -74,6 +84,12 @@ func Solve(p *route.Problem, opt Options) (Result, error) {
 
 	var pairs []pairTerm
 	for i := range p.Objects {
+		if err := ctx.Err(); err != nil {
+			if err == context.DeadlineExceeded {
+				return timedOutResult(p, start), nil
+			}
+			return Result{}, fmt.Errorf("exact: %w", err)
+		}
 		for _, q := range p.Partners(i) {
 			if q <= i {
 				continue
@@ -170,7 +186,7 @@ func Solve(p *route.Problem, opt Options) (Result, error) {
 		}, 1)
 	}
 
-	solveOpt := ilp.SolveOptions{TimeLimit: opt.TimeLimit}
+	solveOpt := ilp.SolveOptions{Ctx: ctx, TimeLimit: opt.TimeLimit}
 	if opt.WarmStart != nil {
 		inc := make([]float64, nVars)
 		for i, c := range opt.WarmStart.Choice {
@@ -212,7 +228,25 @@ func Solve(p *route.Problem, opt Options) (Result, error) {
 		out.Assignment = p.NewAssignment()
 		out.Objective = p.ObjectiveValue(out.Assignment)
 		return out, nil
+	case ilp.Canceled:
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("exact: %w", err)
+		}
+		return out, fmt.Errorf("exact: solve canceled")
 	default:
 		return out, fmt.Errorf("exact: ILP reported %v", res.Status)
 	}
+}
+
+// timedOutResult is the all-unrouted result reported when the deadline
+// expired before the search could even start.
+func timedOutResult(p *route.Problem, start time.Time) Result {
+	out := Result{
+		Status:     ilp.TimedOut,
+		TimedOut:   true,
+		Assignment: p.NewAssignment(),
+		Runtime:    time.Since(start),
+	}
+	out.Objective = p.ObjectiveValue(out.Assignment)
+	return out
 }

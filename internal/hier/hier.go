@@ -9,6 +9,8 @@
 package hier
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -61,6 +63,16 @@ type Result struct {
 
 // Solve runs the divide-and-conquer flow on a built problem.
 func Solve(p *route.Problem, opt Options) Result {
+	r, _ := SolveCtx(context.Background(), p, opt) // background ctx never cancels
+	return r
+}
+
+// SolveCtx is Solve honoring the context: cancellation is checked between
+// tiles, inside every tile ILP, and per object of the greedy sweep, so the
+// call returns promptly with ctx's error and the partial assignment
+// committed so far. Each tile's ILP deadline is the smaller of TimePerTile
+// and the context deadline.
+func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
 	start := time.Now()
 	opt = opt.withDefaults()
 
@@ -69,11 +81,21 @@ func Solve(p *route.Problem, opt Options) Result {
 	u := grid.NewUsage(p.Grid)
 	var res Result
 
+	finish := func(err error) (Result, error) {
+		res.Assignment = a
+		res.Objective = p.ObjectiveValue(a)
+		res.Runtime = time.Since(start)
+		return res, err
+	}
+
 	for _, objs := range tiles {
 		if len(objs) == 0 {
 			continue
 		}
-		timedOut := solveTile(p, objs, u, &a, opt)
+		if err := ctx.Err(); err != nil {
+			return finish(fmt.Errorf("hier: %w", err))
+		}
+		timedOut := solveTile(ctx, p, objs, u, &a, opt)
 		res.TilesSolved++
 		if timedOut {
 			res.TilesTimedOut++
@@ -82,12 +104,12 @@ func Solve(p *route.Problem, opt Options) Result {
 
 	// Final sweep: greedily route whatever remains (spanning objects,
 	// oversize tiles, tile-ILP leftovers) against residual capacity.
-	res.GreedyRouted = greedySweep(p, u, &a)
-
-	res.Assignment = a
-	res.Objective = p.ObjectiveValue(a)
-	res.Runtime = time.Since(start)
-	return res
+	routed, err := greedySweep(ctx, p, u, &a)
+	res.GreedyRouted = routed
+	if err != nil {
+		return finish(fmt.Errorf("hier: %w", err))
+	}
+	return finish(nil)
 }
 
 // partition buckets object indices by the tile containing their pin
@@ -114,8 +136,9 @@ func partition(p *route.Problem, tiles int) [][]int {
 
 // solveTile builds and solves the tile-restricted ILP against residual
 // capacities, committing the winners into a and u. Reports whether the
-// tile hit its time limit.
-func solveTile(p *route.Problem, objs []int, u *grid.Usage, a *route.Assignment, opt Options) bool {
+// tile hit its time limit. A canceled context aborts the tile ILP without
+// committing anything; the caller notices the cancellation itself.
+func solveTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage, a *route.Assignment, opt Options) bool {
 	// Variable layout: per (tile object, candidate).
 	type ref struct{ i, j int }
 	var vars []ref
@@ -203,7 +226,7 @@ func solveTile(p *route.Problem, objs []int, u *grid.Usage, a *route.Assignment,
 		m.AddLazyConstraint(terms, float64(avail))
 	}
 
-	res := ilp.Solve(m, ilp.SolveOptions{TimeLimit: opt.TimePerTile})
+	res := ilp.Solve(m, ilp.SolveOptions{Ctx: ctx, TimeLimit: opt.TimePerTile})
 	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
 		return res.Status == ilp.TimedOut
 	}
@@ -225,8 +248,8 @@ func solveTile(p *route.Problem, objs []int, u *grid.Usage, a *route.Assignment,
 
 // greedySweep routes remaining objects cheapest-first (candidate cost plus
 // pair cost against committed partners), capacity-checked. Returns how
-// many objects it routed.
-func greedySweep(p *route.Problem, u *grid.Usage, a *route.Assignment) int {
+// many objects it routed, stopping early with ctx's error on cancellation.
+func greedySweep(ctx context.Context, p *route.Problem, u *grid.Usage, a *route.Assignment) (int, error) {
 	var rest []int
 	for i := range p.Objects {
 		if a.Choice[i] < 0 {
@@ -242,6 +265,9 @@ func greedySweep(p *route.Problem, u *grid.Usage, a *route.Assignment) int {
 	})
 	routed := 0
 	for _, i := range rest {
+		if err := ctx.Err(); err != nil {
+			return routed, err
+		}
 		bestJ, bestC := -1, 0.0
 		for j := range p.Cands[i] {
 			if !p.CandidateFits(i, j, u) {
@@ -266,7 +292,7 @@ func greedySweep(p *route.Problem, u *grid.Usage, a *route.Assignment) int {
 		}
 		routed++
 	}
-	return routed
+	return routed, nil
 }
 
 // bestCost returns the cheapest candidate cost of an object (for the sweep

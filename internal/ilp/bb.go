@@ -1,6 +1,8 @@
 package ilp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"time"
@@ -19,6 +21,9 @@ const (
 	Infeasible
 	// TimedOut means the time limit expired before any solution was found.
 	TimedOut
+	// Canceled means the caller's context was canceled mid-solve. The best
+	// incumbent found so far, if any, is still attached to the result.
+	Canceled
 )
 
 // String names the status.
@@ -30,6 +35,8 @@ func (s Status) String() string {
 		return "feasible"
 	case Infeasible:
 		return "infeasible"
+	case Canceled:
+		return "canceled"
 	default:
 		return "timed-out"
 	}
@@ -37,6 +44,11 @@ func (s Status) String() string {
 
 // SolveOptions tunes the branch-and-bound search.
 type SolveOptions struct {
+	// Ctx, when non-nil, carries the caller's cancellation signal and
+	// deadline into the search: cancellation yields the Canceled status,
+	// while a context deadline behaves exactly like TimeLimit (whichever
+	// expires first wins).
+	Ctx context.Context
 	// TimeLimit bounds the wall-clock solve time. Zero means no limit.
 	TimeLimit time.Duration
 	// Incumbent optionally provides a known-feasible starting solution
@@ -67,9 +79,16 @@ type Result struct {
 // product terms whose integrality follows from the binaries).
 func Solve(m *Model, opt SolveOptions) Result {
 	start := time.Now()
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	deadline := time.Time{}
 	if opt.TimeLimit > 0 {
 		deadline = start.Add(opt.TimeLimit)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
 	}
 	n := m.NumVars()
 
@@ -88,6 +107,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 	stack := []bbNode{{rootLo, rootHi}}
 	nodes := 0
 	timedOut := false
+	canceled := false
 
 	// Lazy-row management: the LP starts with only the base constraints;
 	// violated lazy rows are activated globally as relaxation solutions
@@ -105,6 +125,10 @@ func Solve(m *Model, opt SolveOptions) Result {
 	}
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			canceled = true
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			timedOut = true
 			break
@@ -117,7 +141,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		res := m.solveLP(activeCons, nd.lo, nd.hi, deadline)
+		res := m.solveLP(ctx, activeCons, nd.lo, nd.hi, deadline)
 		// Activate violated lazy rows and re-solve until the relaxation
 		// respects every discovered constraint (bounded rounds per node).
 		for round := 0; res.status == lpOptimal && round < 20; round++ {
@@ -126,12 +150,16 @@ func Solve(m *Model, opt SolveOptions) Result {
 				break
 			}
 			activate(viol)
-			res = m.solveLP(activeCons, nd.lo, nd.hi, deadline)
+			res = m.solveLP(ctx, activeCons, nd.lo, nd.hi, deadline)
 		}
 		switch res.status {
 		case lpInfeasible:
 			continue
 		case lpIterLimit:
+			if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				canceled = true
+				continue
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				timedOut = true
 				continue
@@ -179,6 +207,8 @@ func Solve(m *Model, opt SolveOptions) Result {
 
 	r := Result{Nodes: nodes, Runtime: time.Since(start)}
 	switch {
+	case canceled:
+		r.Status, r.X, r.Obj = Canceled, bestX, bestObj
 	case bestX == nil && timedOut:
 		r.Status = TimedOut
 	case bestX == nil:

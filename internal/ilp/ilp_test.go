@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ func TestLPSimpleKnapsackRelaxation(t *testing.T) {
 	m.SetObj(0, -3)
 	m.SetObj(1, -2)
 	m.AddConstraint([]Term{{0, 1}, {1, 1}}, 1.5)
-	res := m.solveLP(m.cons, []float64{0, 0}, []float64{1, 1}, time.Time{})
+	res := m.solveLP(context.Background(), m.cons, []float64{0, 0}, []float64{1, 1}, time.Time{})
 	if res.status != lpOptimal {
 		t.Fatalf("status = %v", res.status)
 	}
@@ -32,7 +33,7 @@ func TestLPWithFixedLowerBounds(t *testing.T) {
 	m.SetObj(0, 1)
 	m.SetObj(1, -1)
 	m.AddConstraint([]Term{{0, 1}, {1, 1}}, 1)
-	res := m.solveLP(m.cons, []float64{1, 0}, []float64{1, 1}, time.Time{})
+	res := m.solveLP(context.Background(), m.cons, []float64{1, 0}, []float64{1, 1}, time.Time{})
 	if res.status != lpOptimal {
 		t.Fatalf("status = %v", res.status)
 	}
@@ -45,7 +46,7 @@ func TestLPInfeasible(t *testing.T) {
 	// a + b <= 1 with both fixed to 1.
 	m := NewModel(2)
 	m.AddConstraint([]Term{{0, 1}, {1, 1}}, 1)
-	res := m.solveLP(m.cons, []float64{1, 1}, []float64{1, 1}, time.Time{})
+	res := m.solveLP(context.Background(), m.cons, []float64{1, 1}, []float64{1, 1}, time.Time{})
 	if res.status != lpInfeasible {
 		t.Fatalf("status = %v, want infeasible", res.status)
 	}
@@ -56,7 +57,7 @@ func TestLPNegativeRHSFeasible(t *testing.T) {
 	m := NewModel(1)
 	m.SetObj(0, 1)
 	m.AddConstraint([]Term{{0, -1}}, -0.5)
-	res := m.solveLP(m.cons, []float64{0}, []float64{1}, time.Time{})
+	res := m.solveLP(context.Background(), m.cons, []float64{0}, []float64{1}, time.Time{})
 	if res.status != lpOptimal || math.Abs(res.x[0]-0.5) > 1e-6 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -68,7 +69,7 @@ func TestLPDegenerateAndEquality(t *testing.T) {
 	m.SetObj(0, 1)
 	m.AddConstraint([]Term{{0, 1}, {1, 1}}, 1)
 	m.AddConstraint([]Term{{0, -1}, {1, -1}}, -1)
-	res := m.solveLP(m.cons, []float64{0, 0}, []float64{1, 1}, time.Time{})
+	res := m.solveLP(context.Background(), m.cons, []float64{0, 0}, []float64{1, 1}, time.Time{})
 	if res.status != lpOptimal {
 		t.Fatalf("status = %v", res.status)
 	}

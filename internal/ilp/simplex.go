@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -24,10 +25,11 @@ type lpResult struct {
 // solveLP minimizes the model objective over the LP relaxation with the
 // given per-variable bounds, using a bounded-variable primal simplex on a
 // dense tableau. Rows that start infeasible (possible once branching fixes
-// lower bounds to 1) get Big-M artificial variables. A non-zero deadline
-// aborts long solves with lpIterLimit so the branch-and-bound time limit
-// holds even when a single relaxation is expensive.
-func (m *Model) solveLP(cons []constraint, lo, hi []float64, deadline time.Time) lpResult {
+// lower bounds to 1) get Big-M artificial variables. A non-zero deadline or
+// a done context aborts long solves with lpIterLimit so the branch-and-bound
+// time limit and cancellation hold even when a single relaxation is
+// expensive.
+func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64, deadline time.Time) lpResult {
 	n := len(m.obj)
 	rows := len(cons)
 	if n == 0 {
@@ -150,8 +152,13 @@ func (m *Model) solveLP(cons []constraint, lo, hi []float64, deadline time.Time)
 		if iter > maxIter {
 			return lpResult{status: lpIterLimit}
 		}
-		if iter%64 == 63 && !deadline.IsZero() && time.Now().After(deadline) {
-			return lpResult{status: lpIterLimit}
+		if iter%64 == 63 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return lpResult{status: lpIterLimit}
+			}
+			if ctx.Err() != nil {
+				return lpResult{status: lpIterLimit}
+			}
 		}
 		useBland := iter > blandAfter
 

@@ -8,6 +8,8 @@
 package pd
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -30,6 +32,15 @@ type Result struct {
 
 // Solve runs Algorithm 2 on the problem.
 func Solve(p *route.Problem) Result {
+	r, _ := SolveCtx(context.Background(), p) // background ctx never cancels
+	return r
+}
+
+// SolveCtx is Solve honoring the context: cancellation (or an expired
+// deadline) is checked before every commit iteration, so the call returns
+// promptly with ctx's error and the partial assignment committed so far.
+// Edge capacities hold at every step, so the partial result is legal.
+func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 	start := time.Now()
 	n := len(p.Objects)
 	a := p.NewAssignment()
@@ -60,6 +71,14 @@ func Solve(p *route.Problem) Result {
 
 	iterations := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{
+				Assignment: a,
+				Objective:  p.ObjectiveValue(a),
+				Runtime:    time.Since(start),
+				Iterations: iterations,
+			}, fmt.Errorf("pd: %w", err)
+		}
 		// Line 6: among infeasible (uncommitted) objects pick the candidate
 		// minimizing c(i,j) + c'(i,j).
 		bestI, bestJ := -1, -1
@@ -156,7 +175,7 @@ func Solve(p *route.Problem) Result {
 		Objective:  p.ObjectiveValue(a),
 		Runtime:    time.Since(start),
 		Iterations: iterations,
-	}
+	}, nil
 }
 
 // cPrime evaluates Eq. (4)/(5): for each same-group partner of object i,

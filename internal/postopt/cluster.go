@@ -1,6 +1,8 @@
 package postopt
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/geom"
@@ -71,15 +73,27 @@ type cluster struct {
 // each bit as an individual routing object for flexibility (Fig. 7). It
 // mutates the routing and usage in place and returns statistics.
 func ClusterAndRoute(p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) ClusterStats {
+	stats, _ := ClusterAndRouteCtx(context.Background(), p, r, u, opt)
+	return stats
+}
+
+// ClusterAndRouteCtx is ClusterAndRoute honoring the context: cancellation
+// is checked between groups, so the call returns promptly with ctx's error
+// and the statistics of the groups already processed. The routing and usage
+// stay consistent — a group is either fully clustered or untouched.
+func ClusterAndRouteCtx(ctx context.Context, p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) (ClusterStats, error) {
 	opt = opt.withDefaults()
 	var stats ClusterStats
 	for gi := range p.Design.Groups {
+		if err := ctx.Err(); err != nil {
+			return stats, fmt.Errorf("postopt: cluster: %w", err)
+		}
 		if r.GroupRouted(gi) {
 			continue
 		}
 		stats = addStats(stats, clusterGroup(p, r, u, gi, opt))
 	}
-	return stats
+	return stats, nil
 }
 
 func addStats(a, b ClusterStats) ClusterStats {

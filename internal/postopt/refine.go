@@ -1,6 +1,8 @@
 package postopt
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/geom"
@@ -149,10 +151,22 @@ type RefineStats struct {
 // both directions, checking multilayer capacity before committing. The
 // routing and usage are updated in place.
 func Refine(p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) RefineStats {
+	stats, _ := RefineCtx(context.Background(), p, r, u, opt)
+	return stats
+}
+
+// RefineCtx is Refine honoring the context: cancellation is checked before
+// every detour, so the call returns promptly with ctx's error. Detours
+// already committed stay in place — each one is individually legal.
+func RefineCtx(ctx context.Context, p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) (RefineStats, error) {
 	opt = opt.withDefaults()
 	var stats RefineStats
 	stats.GroupsBefore = CountViolatedGroups(p.Design, r, opt)
 	for _, v := range findViolations(p.Design, r, opt) {
+		if err := ctx.Err(); err != nil {
+			stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
+			return stats, fmt.Errorf("postopt: refine: %w", err)
+		}
 		if fixed, added := detourPin(p.Design, r, u, v); fixed {
 			stats.PinsFixed++
 			stats.AddedWL += added
@@ -161,7 +175,7 @@ func Refine(p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) Refi
 		}
 	}
 	stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
-	return stats
+	return stats, nil
 }
 
 // detourPin lengthens the connection to the violating pin by a U-shaped

@@ -1,0 +1,63 @@
+package signal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadJSON proves ReadJSON plus Validate never panic on malformed
+// designs: whatever bytes arrive, the pair either yields a design that
+// passes validation and survives a serialization round-trip, or a plain
+// error.
+func FuzzReadJSON(f *testing.F) {
+	valid := &Design{
+		Name: "fuzz-seed",
+		Grid: GridSpec{W: 8, H: 8, NumLayers: 4, EdgeCap: 10,
+			Blockages: []Blockage{{Layer: 1, Rect: geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(2, 2)}}}},
+		Groups: []Group{{
+			Name: "g0",
+			Bits: []Bit{
+				{Name: "b0", Driver: 0, Pins: []Pin{{Loc: geom.Pt(0, 0)}, {Loc: geom.Pt(3, 3)}}},
+				{Name: "b1", Driver: 1, Pins: []Pin{{Loc: geom.Pt(0, 1)}, {Loc: geom.Pt(3, 4)}}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := valid.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2]) // truncated mid-document
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"Unknown":1}`))
+	f.Add([]byte(`{"Name":"x","Grid":{"W":-1,"H":2,"NumLayers":2}}`))
+	f.Add([]byte(`{"Grid":{"W":8,"H":8,"NumLayers":2},"Groups":[{"Bits":[{"Driver":7,"Pins":[{},{}]}]}]}`))
+	f.Add([]byte(`{"Grid":{"W":8,"H":8,"NumLayers":2},"Groups":[{"Bits":[{"Pins":[{"Loc":{"X":99,"Y":-3}},{}]}]}]}`))
+	f.Add([]byte(strings.Repeat(`{"Groups":[`, 50)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			if d != nil {
+				t.Fatalf("error %v with non-nil design", err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatal("nil design with nil error")
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted a design Validate rejects: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := d.WriteJSON(&out); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+	})
+}

@@ -28,24 +28,28 @@ func ReadJSON(r io.Reader) (*Design, error) {
 	return &d, nil
 }
 
-// SaveFile writes the design to the named file.
+// SaveFile writes the design to the named file. The file is closed exactly
+// once so the close error (the write may only surface there) is reported.
 func (d *Design) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("signal: creating %s: %w", path, err)
 	}
-	defer f.Close()
 	if err := d.WriteJSON(f); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("signal: writing %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadFile reads and validates a design from the named file.
 func LoadFile(path string) (*Design, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("signal: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	return ReadJSON(f)

@@ -21,8 +21,10 @@
 package streak
 
 import (
+	"context"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/baseline"
 	"repro/internal/benchgen"
 	"repro/internal/core"
@@ -65,6 +67,12 @@ type (
 	// BenchmarkSpec parametrizes the synthetic industrial benchmark
 	// generator.
 	BenchmarkSpec = benchgen.Spec
+	// Fallback configures graceful solver degradation; see core.Fallback.
+	Fallback = core.Fallback
+	// AuditMode selects the post-solve legality audit behaviour.
+	AuditMode = core.AuditMode
+	// AuditReport is the structured legality report of a routing.
+	AuditReport = audit.Report
 )
 
 // Solver methods.
@@ -75,6 +83,16 @@ const (
 	ILP = core.ILP
 	// Hierarchical is the divide-and-conquer exact flow (paper §VI).
 	Hierarchical = core.Hierarchical
+)
+
+// Audit modes.
+const (
+	// AuditOff skips the post-solve legality audit.
+	AuditOff = core.AuditOff
+	// AuditWarn attaches the legality report to the result.
+	AuditWarn = core.AuditWarn
+	// AuditStrict fails the run on any legality violation.
+	AuditStrict = core.AuditStrict
 )
 
 // DefaultOptions returns the full Streak flow configuration: primal-dual
@@ -91,6 +109,20 @@ func DefaultOptions() Options {
 // Route runs the Streak flow on a design.
 func Route(d *Design, opt Options) (*Result, error) {
 	return core.Run(d, opt)
+}
+
+// RouteCtx runs the Streak flow honoring the context: cancellation and
+// deadlines propagate through every solve stage, so the call returns
+// promptly with ctx's error when the caller gives up.
+func RouteCtx(ctx context.Context, d *Design, opt Options) (*Result, error) {
+	return core.RunCtx(ctx, d, opt)
+}
+
+// AuditRouting independently re-checks the legality of a result: usage is
+// re-derived from the routed geometry, per-edge per-layer capacity, per-bit
+// pin connectivity, and layer-range legality are all verified.
+func AuditRouting(res *Result) AuditReport {
+	return audit.Check(res.Problem.Design, res.Problem.Grid, res.Routing)
 }
 
 // LoadDesign reads a design from a JSON file (see Design.SaveFile).
