@@ -9,6 +9,7 @@ package streak
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -226,6 +227,9 @@ func BenchmarkAblationCandidates(b *testing.B) {
 	d := benchgen.Scale(benchgen.Industry(5), benchScale).Generate()
 	for _, maxC := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("maxCandidates=%d", maxC), func(b *testing.B) {
+			// Design generation above is setup, not the measured
+			// build+solve work.
+			b.ResetTimer()
 			var routeFrac float64
 			for i := 0; i < b.N; i++ {
 				p, err := route.Build(d, route.Options{MaxCandidates: maxC})
@@ -261,6 +265,58 @@ func BenchmarkAblationRegWeight(b *testing.B) {
 			b.ReportMetric(reg*100, "reg%")
 		})
 	}
+}
+
+// BenchmarkBuildParallel measures the candidate-generation fan-out of
+// route.Build on Industry7: Workers=1 is the sequential baseline,
+// Workers=GOMAXPROCS the parallel build. Candidate sets are bit-identical
+// across worker counts, so ns/op is the only thing that moves.
+func BenchmarkBuildParallel(b *testing.B) {
+	d := benchgen.Scale(benchgen.Industry(7), benchScale).Generate()
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Build(d, route.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPairCost measures the dense pair-cost kernel: one op is a full
+// pricing sweep over every partnered candidate pair, the access pattern of
+// the primal-dual and tile solvers.
+func BenchmarkPairCost(b *testing.B) {
+	p := benchProblem(b, 7)
+	b.ResetTimer()
+	var sink float64
+	lookups := 0
+	for n := 0; n < b.N; n++ {
+		lookups = 0
+		for i := range p.Cands {
+			for _, q := range p.Partners(i) {
+				if q < i {
+					continue
+				}
+				for j := range p.Cands[i] {
+					for r := range p.Cands[q] {
+						sink += p.PairCost(i, j, q, r)
+						lookups++
+					}
+				}
+			}
+		}
+	}
+	if sink == 0 {
+		b.Log("all pair costs zero") // keep the loop un-eliminated
+	}
+	b.ReportMetric(float64(lookups), "lookups/op")
 }
 
 // BenchmarkHierarchicalVsMonolithic compares the paper's future-work

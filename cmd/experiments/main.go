@@ -9,12 +9,15 @@
 //	experiments -fig 13                 # scalability CSV
 //	experiments -all                    # everything
 //	experiments -all -scale 0.1 -ilptime 5s -bench 1,3,7
+//	experiments -table 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,15 +26,52 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the requested experiments and returns the exit code. It is
+// separate from main so the profiling defers flush before the process
+// exits.
+func run() int {
 	var (
-		table   = flag.Int("table", 0, "regenerate Table N (1 or 2)")
-		fig     = flag.Int("fig", 0, "regenerate Fig N (11, 12, 13, 14 or 15)")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		scale   = flag.Float64("scale", 0.2, "benchmark scale factor (1 = full size)")
-		ilpTime = flag.Duration("ilptime", 20*time.Second, "ILP time limit")
-		benchs  = flag.String("bench", "", "comma-separated Industry numbers (default all)")
+		table      = flag.Int("table", 0, "regenerate Table N (1 or 2)")
+		fig        = flag.Int("fig", 0, "regenerate Fig N (11, 12, 13, 14 or 15)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		scale      = flag.Float64("scale", 0.2, "benchmark scale factor (1 = full size)")
+		ilpTime    = flag.Duration("ilptime", 20*time.Second, "ILP time limit")
+		benchs     = flag.String("bench", "", "comma-separated Industry numbers (default all)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{
 		Out:     os.Stdout,
@@ -43,51 +83,48 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 || n > 7 {
 				fmt.Fprintf(os.Stderr, "experiments: bad benchmark %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			cfg.Benchmarks = append(cfg.Benchmarks, n)
 		}
 	}
 
-	run := func(name string, fn func(experiments.Config) error) {
+	do := func(name string, fn func(experiments.Config) error) error {
 		fmt.Printf("\n===== %s =====\n", name)
 		if err := fn(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
+		return nil
 	}
 
+	type job struct {
+		enabled bool
+		name    string
+		fn      func(experiments.Config) error
+	}
+	jobs := []job{
+		{*all || *table == 1, "Table I", experiments.Table1},
+		{*all || *table == 2, "Table II", experiments.Table2},
+		{*all || *fig == 11, "Fig 11", func(c experiments.Config) error { return experiments.CongestionMaps(c, 7) }},
+		{*all || *fig == 12, "Fig 12", func(c experiments.Config) error { return experiments.CongestionMaps(c, 6) }},
+		{*all || *fig == 13, "Fig 13", experiments.Fig13},
+		{*all || *fig == 14, "Fig 14", experiments.Fig14},
+		{*all || *fig == 15, "Fig 15", experiments.Fig15},
+	}
 	did := false
-	if *all || *table == 1 {
-		run("Table I", experiments.Table1)
-		did = true
-	}
-	if *all || *table == 2 {
-		run("Table II", experiments.Table2)
-		did = true
-	}
-	if *all || *fig == 11 {
-		run("Fig 11", func(c experiments.Config) error { return experiments.CongestionMaps(c, 7) })
-		did = true
-	}
-	if *all || *fig == 12 {
-		run("Fig 12", func(c experiments.Config) error { return experiments.CongestionMaps(c, 6) })
-		did = true
-	}
-	if *all || *fig == 13 {
-		run("Fig 13", experiments.Fig13)
-		did = true
-	}
-	if *all || *fig == 14 {
-		run("Fig 14", experiments.Fig14)
-		did = true
-	}
-	if *all || *fig == 15 {
-		run("Fig 15", experiments.Fig15)
+	for _, j := range jobs {
+		if !j.enabled {
+			continue
+		}
+		if err := do(j.name, j.fn); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
 		did = true
 	}
 	if !did {
 		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table, -fig or -all")
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

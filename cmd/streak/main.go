@@ -4,7 +4,7 @@
 // Usage:
 //
 //	streak -design path/to/design.json [-method pd|ilp|hier] [-ilptime 60s]
-//	       [-fallback] [-timeout 0] [-audit off|warn|strict]
+//	       [-fallback] [-timeout 0] [-audit off|warn|strict] [-workers 0]
 //	       [-nopost] [-heatmap] [-out routed.json]
 //	streak -industry 3 [-scale 0.2] ...
 package main
@@ -31,6 +31,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the whole flow (0 = none)")
 		fallback   = flag.Bool("fallback", false, "degrade ilp -> hier -> pd on solver failure instead of aborting")
 		auditMode  = flag.String("audit", "off", "post-solve legality audit: off, warn or strict")
+		workers    = flag.Int("workers", 0, "parallel workers for problem build and hier tile solves (0 = GOMAXPROCS, 1 = sequential)")
 		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
 		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
 		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
@@ -57,6 +58,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streak: unknown method %q (want pd, ilp or hier)\n", *method)
 		os.Exit(2)
 	}
+	opt.Route.Workers = *workers
+	opt.HierWorkers = *workers
 	if *noPost {
 		opt.PostOpt = false
 		opt.Clustering = false

@@ -75,6 +75,10 @@ type Options struct {
 	HierTiles int
 	// HierTimePerTile bounds each tile ILP (default 5s).
 	HierTimePerTile time.Duration
+	// HierWorkers bounds how many hierarchical tile ILPs solve
+	// concurrently (below 2 keeps the sequential tile schedule; see
+	// hier.Options.Workers).
+	HierWorkers int
 	// Fallback configures graceful degradation across solvers (panic,
 	// timeout-with-nothing, oversized model, infeasibility).
 	Fallback Fallback
@@ -156,7 +160,7 @@ func Run(d *signal.Design, opt Options) (*Result, error) {
 // loop, and the post-optimization cluster/refine loops — so the call
 // returns promptly with ctx's error.
 func RunCtx(ctx context.Context, d *signal.Design, opt Options) (*Result, error) {
-	p, err := route.Build(d, opt.Route)
+	p, err := route.BuildCtx(ctx, d, opt.Route)
 	if err != nil {
 		return nil, err
 	}

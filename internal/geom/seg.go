@@ -57,6 +57,22 @@ func (s Seg) Translate(d Point) Seg {
 	return Seg{A: s.A.Add(d), B: s.B.Add(d)}
 }
 
+// Touches reports whether the two segments share at least one point:
+// collinear overlap, endpoint contact, or a perpendicular crossing.
+func (s Seg) Touches(o Seg) bool {
+	s, o = s.Norm(), o.Norm()
+	switch {
+	case s.Horizontal() && o.Horizontal():
+		return s.A.Y == o.A.Y && s.A.X <= o.B.X && o.A.X <= s.B.X
+	case s.Vertical() && o.Vertical():
+		return s.A.X == o.A.X && s.A.Y <= o.B.Y && o.A.Y <= s.B.Y
+	case s.Horizontal(): // o vertical
+		return o.A.X >= s.A.X && o.A.X <= s.B.X && s.A.Y >= o.A.Y && s.A.Y <= o.B.Y
+	default: // s vertical, o horizontal
+		return s.A.X >= o.A.X && s.A.X <= o.B.X && o.A.Y >= s.A.Y && o.A.Y <= s.B.Y
+	}
+}
+
 // Overlap returns the shared length of two collinear segments, or 0 when
 // they are not collinear or do not overlap. Touching at a single point
 // contributes zero length.

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/exact"
@@ -31,6 +32,14 @@ type Options struct {
 	// MaxVarsPerTile guards each tile model's size; oversized tiles fall
 	// back to the greedy pass. Default 20000.
 	MaxVarsPerTile int
+	// Workers bounds how many tile ILPs solve concurrently. The default
+	// (anything below 2) keeps the sequential flow, where each tile prices
+	// against the residual capacity left by earlier tiles. With Workers
+	// >= 2 every tile plans against the initial capacities in parallel and
+	// the plans commit in deterministic tile order with per-candidate
+	// capacity re-checks, so results are reproducible (though not
+	// necessarily equal to the sequential schedule's).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,17 +97,24 @@ func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		return res, err
 	}
 
-	for _, objs := range tiles {
-		if len(objs) == 0 {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
+	if opt.Workers >= 2 {
+		if err := solveTilesParallel(ctx, p, tiles, u, &a, opt, &res); err != nil {
 			return finish(fmt.Errorf("hier: %w", err))
 		}
-		timedOut := solveTile(ctx, p, objs, u, &a, opt)
-		res.TilesSolved++
-		if timedOut {
-			res.TilesTimedOut++
+	} else {
+		for _, objs := range tiles {
+			if len(objs) == 0 {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return finish(fmt.Errorf("hier: %w", err))
+			}
+			plan, timedOut := planTile(ctx, p, objs, u, a.Choice, opt)
+			commitPlan(p, plan, u, &a)
+			res.TilesSolved++
+			if timedOut {
+				res.TilesTimedOut++
+			}
 		}
 	}
 
@@ -134,11 +150,80 @@ func partition(p *route.Problem, tiles int) [][]int {
 	return out
 }
 
-// solveTile builds and solves the tile-restricted ILP against residual
-// capacities, committing the winners into a and u. Reports whether the
-// tile hit its time limit. A canceled context aborts the tile ILP without
-// committing anything; the caller notices the cancellation itself.
-func solveTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage, a *route.Assignment, opt Options) bool {
+// candSel names candidate j of object i, picked by a tile plan.
+type candSel struct{ i, j int }
+
+// solveTilesParallel plans every tile's ILP concurrently (Workers at a
+// time) against the capacities as they stand on entry, then commits the
+// plans sequentially in tile order. Commits re-check residual capacity per
+// candidate, so later tiles' plans lose gracefully where parallel planning
+// double-booked an edge; the greedy sweep picks those objects up. Choices
+// are snapshotted before planning, keeping every tile's view identical
+// regardless of scheduling — the outcome is deterministic in tile order.
+func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u *grid.Usage, a *route.Assignment, opt Options, res *Result) error {
+	type outcome struct {
+		plan     []candSel
+		timedOut bool
+		ran      bool
+	}
+	choice := append([]int(nil), a.Choice...)
+	outs := make([]outcome, len(tiles))
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	for ti, objs := range tiles {
+		if len(objs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ti int, objs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			plan, timedOut := planTile(ctx, p, objs, u, choice, opt)
+			outs[ti] = outcome{plan: plan, timedOut: timedOut, ran: true}
+		}(ti, objs)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, out := range outs {
+		if !out.ran {
+			continue
+		}
+		commitPlan(p, out.plan, u, a)
+		res.TilesSolved++
+		if out.timedOut {
+			res.TilesTimedOut++
+		}
+	}
+	return nil
+}
+
+// commitPlan applies a tile plan: each selection commits iff its object is
+// still unrouted and the candidate fits the remaining capacity.
+func commitPlan(p *route.Problem, plan []candSel, u *grid.Usage, a *route.Assignment) {
+	for _, s := range plan {
+		if a.Choice[s.i] >= 0 || !p.CandidateFits(s.i, s.j, u) {
+			continue
+		}
+		a.Choice[s.i] = s.j
+		for k, n := range p.Cands[s.i][s.j].Usage {
+			u.Add(k.Layer, k.Idx, n)
+		}
+	}
+}
+
+// planTile builds and solves the tile-restricted ILP against the residual
+// capacities in u and the committed choices snapshot, returning the
+// selections to commit and whether the tile hit its time limit. It never
+// mutates shared state, so plans may be computed concurrently. A canceled
+// context aborts the tile ILP with an empty plan; the caller notices the
+// cancellation itself.
+func planTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage, choice []int, opt Options) (plan []candSel, timedOut bool) {
 	// Variable layout: per (tile object, candidate).
 	type ref struct{ i, j int }
 	var vars []ref
@@ -152,7 +237,7 @@ func solveTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage,
 		}
 	}
 	if len(vars) == 0 || len(vars) > opt.MaxVarsPerTile {
-		return false
+		return nil, false
 	}
 
 	// Within-tile pair terms keep the regularity objective alive inside
@@ -187,8 +272,8 @@ func solveTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage,
 		// Pair costs against already-committed partners fold into the
 		// linear cost (the Eq. 4 trick).
 		for _, q := range p.Partners(r.i) {
-			if a.Choice[q] >= 0 {
-				cost += p.PairCost(r.i, r.j, q, a.Choice[q])
+			if choice[q] >= 0 {
+				cost += p.PairCost(r.i, r.j, q, choice[q])
 			}
 		}
 		m.SetObj(vi, cost)
@@ -228,22 +313,17 @@ func solveTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage,
 
 	res := ilp.Solve(m, ilp.SolveOptions{Ctx: ctx, TimeLimit: opt.TimePerTile})
 	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
-		return res.Status == ilp.TimedOut
+		return nil, res.Status == ilp.TimedOut
 	}
+	// The capacity double-check (defense against numeric drift in the LP,
+	// and against concurrent tiles planning over the same edges) happens at
+	// commit time in commitPlan.
 	for vi, r := range vars {
-		if res.X[vi] > 0.5 && a.Choice[r.i] < 0 {
-			// Double-check residual capacity before committing (defense
-			// against numeric drift in the LP).
-			if !p.CandidateFits(r.i, r.j, u) {
-				continue
-			}
-			a.Choice[r.i] = r.j
-			for k, n := range p.Cands[r.i][r.j].Usage {
-				u.Add(k.Layer, k.Idx, n)
-			}
+		if res.X[vi] > 0.5 && choice[r.i] < 0 {
+			plan = append(plan, candSel{r.i, r.j})
 		}
 	}
-	return res.Status == ilp.Feasible
+	return plan, res.Status == ilp.Feasible
 }
 
 // greedySweep routes remaining objects cheapest-first (candidate cost plus

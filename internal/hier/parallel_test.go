@@ -1,0 +1,42 @@
+package hier
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/route"
+)
+
+// TestParallelTilesIndustry5 exercises the full parallel pipeline under
+// the race detector: a parallel build of Industry5 followed by concurrent
+// tile solves. The parallel schedule must be legal, reproducible, and
+// route comparably to the sequential one.
+func TestParallelTilesIndustry5(t *testing.T) {
+	d := benchgen.Scale(benchgen.Industry(5), 0.06).Generate()
+	p, err := route.Build(d, route.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := Solve(p, Options{Tiles: 2, TimePerTile: 2 * time.Second})
+	par := Solve(p, Options{Tiles: 2, TimePerTile: 2 * time.Second, Workers: 4})
+	if err := p.Legal(par.Assignment); err != nil {
+		t.Fatalf("parallel tile assignment illegal: %v", err)
+	}
+	if par.TilesSolved != seq.TilesSolved {
+		t.Errorf("parallel solved %d tiles, sequential %d", par.TilesSolved, seq.TilesSolved)
+	}
+	// Parallel planning may double-book edges that only the commit pass
+	// arbitrates, so allow a small routed-count gap versus sequential.
+	if par.Assignment.RoutedObjects() < seq.Assignment.RoutedObjects()-2 {
+		t.Errorf("parallel routed %d objects, sequential %d",
+			par.Assignment.RoutedObjects(), seq.Assignment.RoutedObjects())
+	}
+
+	again := Solve(p, Options{Tiles: 2, TimePerTile: 2 * time.Second, Workers: 4})
+	if !reflect.DeepEqual(par.Assignment, again.Assignment) {
+		t.Error("parallel tile solve is not reproducible across runs")
+	}
+}

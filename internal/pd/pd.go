@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/grid"
@@ -59,7 +60,6 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 
 	// edgeUsers lets us re-check only candidates that touch edges whose
 	// capacity changed, instead of the whole candidate universe.
-	type candRef struct{ i, j int }
 	edgeUsers := make(map[topo.EdgeKey][]candRef)
 	for i := range p.Cands {
 		for j := range p.Cands[i] {
@@ -68,6 +68,8 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 			}
 		}
 	}
+	workers := p.Opt.WorkerCount()
+	var pruneRefs []candRef // reused across commits
 
 	iterations := 0
 	for {
@@ -135,11 +137,11 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 				}
 			}
 		}
+		pruneRefs = pruneRefs[:0]
 		for ref := range recheck {
-			if !p.CandidateFits(ref.i, ref.j, u) {
-				alive[ref.i][ref.j] = false
-			}
+			pruneRefs = append(pruneRefs, ref)
 		}
+		pruneParallel(p, u, alive, pruneRefs, workers)
 		for i := 0; i < n; i++ {
 			if done[i] {
 				continue
@@ -176,6 +178,46 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 		Runtime:    time.Since(start),
 		Iterations: iterations,
 	}, nil
+}
+
+// candRef addresses candidate j of object i.
+type candRef struct{ i, j int }
+
+// pruneParallel re-checks the feasibility of the given candidates against
+// the residual capacities and kills the ones that no longer fit,
+// fanning the checks out across workers when the batch is worth it. Each
+// ref owns its alive cell and the usage tracker is only read, so the
+// outcome is independent of scheduling (line 9 of Algorithm 2 is a pure
+// filter).
+func pruneParallel(p *route.Problem, u *grid.Usage, alive [][]bool, refs []candRef, workers int) {
+	// Below this batch size goroutine startup costs more than the checks.
+	const minParallel = 64
+	if workers <= 1 || len(refs) < minParallel {
+		for _, ref := range refs {
+			if !p.CandidateFits(ref.i, ref.j, u) {
+				alive[ref.i][ref.j] = false
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(refs) + workers - 1) / workers
+	for lo := 0; lo < len(refs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		wg.Add(1)
+		go func(part []candRef) {
+			defer wg.Done()
+			for _, ref := range part {
+				if !p.CandidateFits(ref.i, ref.j, u) {
+					alive[ref.i][ref.j] = false
+				}
+			}
+		}(refs[lo:hi])
+	}
+	wg.Wait()
 }
 
 // cPrime evaluates Eq. (4)/(5): for each same-group partner of object i,

@@ -1,0 +1,58 @@
+package route
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount resolves the Workers option: a positive value is used as-is,
+// anything else means runtime.GOMAXPROCS(0). Solver packages use this to
+// size their own parallel legs consistently with the build fan-out.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to workers
+// goroutines, checking ctx between items so cancellation stops the fan-out
+// promptly (items already started still finish). fn must only write state
+// owned by item i, which makes the combined result independent of
+// goroutine scheduling — the determinism guarantee of the parallel build.
+func parallelFor(ctx context.Context, workers, n int, fn func(int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,166 @@
+package route
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/topo"
+)
+
+// buildWithWorkers builds a mid-sized multi-group benchmark: big enough
+// that the worker pool actually fans out and groups hold several partnered
+// objects.
+func buildWithWorkers(t *testing.T, workers int) *Problem {
+	t.Helper()
+	d := benchgen.Scale(benchgen.Industry(5), 0.06).Generate()
+	p, err := Build(d, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBuildParallelDeterminism asserts the tentpole guarantee: the
+// parallel build produces bit-identical candidates and pair costs for any
+// worker count.
+func TestBuildParallelDeterminism(t *testing.T) {
+	p1 := buildWithWorkers(t, 1)
+	p8 := buildWithWorkers(t, 8)
+
+	if !reflect.DeepEqual(p1.Objects, p8.Objects) {
+		t.Fatal("object lists differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(p1.GroupObjs, p8.GroupObjs) {
+		t.Fatal("group-object lists differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(p1.Cands, p8.Cands) {
+		t.Fatal("candidate sets differ between Workers=1 and Workers=8")
+	}
+	for i := range p1.Cands {
+		for _, q := range p1.Partners(i) {
+			for j := range p1.Cands[i] {
+				for r := range p1.Cands[q] {
+					c1 := p1.PairCost(i, j, q, r)
+					c8 := p8.PairCost(i, j, q, r)
+					if c1 != c8 {
+						t.Fatalf("PairCost(%d,%d,%d,%d) = %v (1 worker) vs %v (8 workers)",
+							i, j, q, r, c1, c8)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairCostMatchesDirect checks the dense kernel against a direct
+// (uncached) evaluation of the regularity ratio and irregularity formula.
+func TestPairCostMatchesDirect(t *testing.T) {
+	p := buildWithWorkers(t, 4)
+	checked := 0
+	for i := range p.Cands {
+		for _, q := range p.Partners(i) {
+			for j := range p.Cands[i] {
+				for r := range p.Cands[q] {
+					ci, cq := &p.Cands[i][j], &p.Cands[q][r]
+					want := topo.PairIrregularity(
+						topo.Ratio(ci.Topo.Backbone, p.RepBit(i), cq.Topo.Backbone, p.RepBit(q)),
+						p.Opt.RegWeight, p.Opt.NoShare,
+						layerDist(ci, cq), p.Opt.LayerPenalty,
+					)
+					if got := p.PairCost(i, j, q, r); got != want {
+						t.Fatalf("PairCost(%d,%d,%d,%d) = %v, direct evaluation %v", i, j, q, r, got, want)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no partnered candidate pairs checked; benchmark too small")
+	}
+}
+
+// TestLazyKernelMatchesEager forces every pair table onto the lazy path
+// and asserts the costs match the eagerly precomputed kernel.
+func TestLazyKernelMatchesEager(t *testing.T) {
+	d := benchgen.Scale(benchgen.Industry(5), 0.06).Generate()
+	eager, err := Build(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Build(d, Options{LazyKernelCells: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range lazy.kern.pairs {
+		if pt.tab != nil {
+			t.Fatal("lazy kernel filled a table at build time")
+		}
+	}
+	for i := range eager.Cands {
+		for _, q := range eager.Partners(i) {
+			for j := range eager.Cands[i] {
+				for r := range eager.Cands[q] {
+					if e, l := eager.PairCost(i, j, q, r), lazy.PairCost(i, j, q, r); e != l {
+						t.Fatalf("PairCost(%d,%d,%d,%d): eager %v, lazy %v", i, j, q, r, e, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCtxCanceled asserts a canceled context aborts the build.
+func TestBuildCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := benchgen.Scale(benchgen.Industry(5), 0.06).Generate()
+	if _, err := BuildCtx(ctx, d, Options{Workers: 4}); err == nil {
+		t.Fatal("BuildCtx succeeded under a canceled context")
+	}
+}
+
+// TestBitTreeMatchesScan cross-checks the (group, bit) index against the
+// exhaustive object scan BitTree used to perform.
+func TestBitTreeMatchesScan(t *testing.T) {
+	p := buildWithWorkers(t, 2)
+	a := p.NewAssignment()
+	for i := range a.Choice {
+		if len(p.Cands[i]) > 0 && i%2 == 0 {
+			a.Choice[i] = 0
+		}
+	}
+	for gi := range p.Design.Groups {
+		for bi := range p.Design.Groups[gi].Bits {
+			got := p.BitTree(a, gi, bi)
+			// Reference: the linear scan BitTree used to perform.
+			found := false
+			for i := range p.Objects {
+				if p.Objects[i].GroupIdx != gi {
+					continue
+				}
+				for k, b := range p.Objects[i].BitIdx {
+					if b != bi {
+						continue
+					}
+					found = true
+					if a.Choice[i] < 0 {
+						if got != nil {
+							t.Fatalf("bit (%d,%d): index returned a tree for unrouted object", gi, bi)
+						}
+						continue
+					}
+					want := p.Cands[i][a.Choice[i]].Topo.BitTrees[k]
+					if got == nil || got.String() != want.String() {
+						t.Fatalf("bit (%d,%d): index tree mismatch", gi, bi)
+					}
+				}
+			}
+			if !found && got != nil {
+				t.Fatalf("bit (%d,%d): tree for unknown bit", gi, bi)
+			}
+		}
+	}
+}

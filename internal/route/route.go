@@ -6,6 +6,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,16 @@ type Options struct {
 	// order). Zero means all pairs. Large multipin groups otherwise
 	// explode quadratically. Default 4.
 	PairNeighbors int
+	// Workers sizes the worker pool used for candidate generation and the
+	// pair-cost kernel fill. Zero (or negative) means
+	// runtime.GOMAXPROCS(0); 1 forces a sequential build. Results are
+	// bit-identical for every worker count.
+	Workers int
+	// LazyKernelCells is the per-pair table size (in cells) above which
+	// the pair-cost kernel defers the ratio computation to first use
+	// instead of filling it at build time. Default 4096; set negative to
+	// make every table lazy.
+	LazyKernelCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +69,9 @@ func (o Options) withDefaults() Options {
 	if o.PairNeighbors == 0 {
 		o.PairNeighbors = 4
 	}
+	if o.LazyKernelCells == 0 {
+		o.LazyKernelCells = 4096
+	}
 	return o
 }
 
@@ -76,8 +90,17 @@ type Problem struct {
 	// Opt holds the options the problem was built with.
 	Opt Options
 
-	ratioCache map[[4]int]float64
+	// kern is the precomputed pair-cost kernel (see kernel.go).
+	kern kernel
+	// bitObj indexes (group index, bit index) to the owning object and the
+	// bit's position within it, replacing the linear all-objects scan that
+	// metrics and refinement performed per bit.
+	bitObj map[[2]int]bitRef
 }
+
+// bitRef locates one bit inside the object list: object index plus the
+// bit's position in that object's BitIdx.
+type bitRef struct{ obj, k int }
 
 // NewGrid materializes the design's grid spec, applying blockages.
 func NewGrid(d *signal.Design) *grid.Grid {
@@ -90,30 +113,65 @@ func NewGrid(d *signal.Design) *grid.Grid {
 
 // Build constructs the selection problem for a design.
 func Build(d *signal.Design, opt Options) (*Problem, error) {
+	return BuildCtx(context.Background(), d, opt)
+}
+
+// BuildCtx is Build honoring the context. Construction runs in three
+// stages: a sequential identification pass, a parallel per-object
+// candidate-generation fan-out (topology generation plus 3-D expansion,
+// partitioned across Options.Workers goroutines and stitched back by
+// object index, so the result is bit-identical to a sequential build), and
+// a parallel pair-cost kernel fill. Cancellation stops the fan-out between
+// objects and returns ctx's error.
+func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
 	p := &Problem{
-		Design:     d,
-		Grid:       NewGrid(d),
-		Opt:        opt,
-		GroupObjs:  make([][]int, len(d.Groups)),
-		ratioCache: make(map[[4]int]float64),
+		Design:    d,
+		Grid:      NewGrid(d),
+		Opt:       opt,
+		GroupObjs: make([][]int, len(d.Groups)),
 	}
 	for gi := range d.Groups {
-		objs := ident.Partition(gi, &d.Groups[gi])
-		for _, o := range objs {
-			o := o
+		for _, o := range ident.Partition(gi, &d.Groups[gi]) {
 			idx := len(p.Objects)
 			p.Objects = append(p.Objects, o)
 			p.GroupObjs[gi] = append(p.GroupObjs[gi], idx)
-			ots := topo.ObjectTopologies(&d.Groups[gi], &o, opt.Topo)
-			cands := topo.Expand3D(p.Grid, ots, opt.Topo)
-			p.Cands = append(p.Cands, trimDiverse(cands, opt.MaxCandidates))
 		}
 	}
+	workers := opt.WorkerCount()
+	p.Cands = make([][]topo.Candidate, len(p.Objects))
+	err := parallelFor(ctx, workers, len(p.Objects), func(i int) {
+		obj := &p.Objects[i]
+		g := &d.Groups[obj.GroupIdx]
+		ots := topo.ObjectTopologies(g, obj, opt.Topo)
+		cands := topo.Expand3D(p.Grid, ots, opt.Topo)
+		p.Cands[i] = trimDiverse(cands, opt.MaxCandidates)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	p.indexBits()
+	if err := p.buildKernel(ctx, workers); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
 	return p, nil
+}
+
+// indexBits builds the (group, bit) -> object lookup behind BitTree.
+func (p *Problem) indexBits() {
+	p.bitObj = make(map[[2]int]bitRef)
+	for i := range p.Objects {
+		obj := &p.Objects[i]
+		for k, bi := range obj.BitIdx {
+			key := [2]int{obj.GroupIdx, bi}
+			if _, dup := p.bitObj[key]; !dup {
+				p.bitObj[key] = bitRef{i, k}
+			}
+		}
+	}
 }
 
 // trimDiverse caps the candidate list at maxN while keeping topology
@@ -192,31 +250,17 @@ func (p *Problem) Partners(i int) []int {
 	return out
 }
 
-// ratio2D returns the regularity ratio between the backbone topologies of
-// candidate j of object i and candidate r of object q, cached per 2-D
-// topology pair so layer variants reuse the geometric computation.
-func (p *Problem) ratio2D(i, j, q, r int) float64 {
-	key := [4]int{i, p.Cands[i][j].TopoIdx, q, p.Cands[q][r].TopoIdx}
-	if v, ok := p.ratioCache[key]; ok {
-		return v
-	}
-	v := topo.Ratio(
-		p.Cands[i][j].Topo.Backbone, p.RepBit(i),
-		p.Cands[q][r].Topo.Backbone, p.RepBit(q),
-	)
-	p.ratioCache[key] = v
-	p.ratioCache[[4]int{q, p.Cands[q][r].TopoIdx, i, p.Cands[i][j].TopoIdx}] = v
-	return v
-}
-
 // PairCost returns c(i,j,p,q) of formulation (3a): the irregularity cost of
 // simultaneously selecting candidate j of object i and candidate r of
-// object q. Objects in different groups never pay pair costs.
+// object q. Objects in different groups never pay pair costs. The
+// regularity ratio behind the cost comes from the precomputed pair-cost
+// kernel (two array indexings per lookup; see kernel.go), so the method is
+// safe to call from concurrent solver legs.
 func (p *Problem) PairCost(i, j, q, r int) float64 {
 	if p.Objects[i].GroupIdx != p.Objects[q].GroupIdx || i == q {
 		return 0
 	}
-	ratio := p.ratio2D(i, j, q, r)
+	ratio := p.pairRatio(i, p.Cands[i][j].TopoIdx, q, p.Cands[q][r].TopoIdx)
 	ld := layerDist(&p.Cands[i][j], &p.Cands[q][r])
 	return topo.PairIrregularity(ratio, p.Opt.RegWeight, p.Opt.NoShare, ld, p.Opt.LayerPenalty)
 }
@@ -326,24 +370,17 @@ func (p *Problem) ObjectiveValue(a Assignment) float64 {
 }
 
 // BitTree returns the routed tree of a specific bit under the assignment,
-// or nil when its object is unrouted. The bit is addressed by group and
-// bit index.
+// or nil when its object is unrouted or the bit is unknown. The bit is
+// addressed by group and bit index and resolved through the prebuilt
+// (group, bit) -> object index, so per-bit callers (metrics, refinement)
+// no longer scan every object.
 func (p *Problem) BitTree(a Assignment, groupIdx, bitIdx int) *geom.Tree {
-	for i, obj := range p.Objects {
-		if obj.GroupIdx != groupIdx {
-			continue
-		}
-		for k, bi := range obj.BitIdx {
-			if bi == bitIdx {
-				if a.Choice[i] < 0 {
-					return nil
-				}
-				t := p.Cands[i][a.Choice[i]].Topo.BitTrees[k]
-				return &t
-			}
-		}
+	ref, ok := p.bitObj[[2]int{groupIdx, bitIdx}]
+	if !ok || a.Choice[ref.obj] < 0 {
+		return nil
 	}
-	return nil
+	t := p.Cands[ref.obj][a.Choice[ref.obj]].Topo.BitTrees[ref.k]
+	return &t
 }
 
 func iabs(v int) int {

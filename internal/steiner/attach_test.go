@@ -1,0 +1,69 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// naiveAttachL is the pre-optimization reference: materialize both full
+// L-corner tree copies and re-cost each from scratch.
+func naiveAttachL(t geom.Tree, a, b geom.Point, opt Options) geom.Tree {
+	if a.X == b.X || a.Y == b.Y {
+		t.Append(geom.S(a, b))
+		return t
+	}
+	c1 := geom.Pt(b.X, a.Y)
+	c2 := geom.Pt(a.X, b.Y)
+	t1 := geom.Tree{Segs: append(append([]geom.Seg{}, t.Segs...), geom.S(a, c1), geom.S(c1, b))}
+	t2 := geom.Tree{Segs: append(append([]geom.Seg{}, t.Segs...), geom.S(a, c2), geom.S(c2, b))}
+	if opt.Cost(t1) <= opt.Cost(t2) {
+		return t1
+	}
+	return t2
+}
+
+// TestAttachDeltaMatchesNaive asserts the incremental corner evaluation
+// picks the same corner as re-costing both full tree copies, across random
+// trees and bend weights, and that the local delta equals the true global
+// cost change.
+func TestAttachDeltaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		opt := Options{BendWeight: trial % 5}
+		var tr geom.Tree
+		// Grow a random connected tree.
+		pts := []geom.Point{geom.Pt(rng.Intn(12), rng.Intn(12))}
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			from := pts[rng.Intn(len(pts))]
+			to := geom.Pt(rng.Intn(12), rng.Intn(12))
+			if from == to {
+				continue
+			}
+			tr = naiveAttachL(tr, from, to, opt)
+			pts = append(pts, to)
+		}
+		a := pts[rng.Intn(len(pts))]
+		b := geom.Pt(rng.Intn(12), rng.Intn(12))
+		if a.X == b.X || a.Y == b.Y {
+			continue
+		}
+		c1 := geom.Pt(b.X, a.Y)
+		c2 := geom.Pt(a.X, b.Y)
+		base := opt.Cost(tr)
+		full1 := opt.Cost(geom.Tree{Segs: append(append([]geom.Seg{}, tr.Segs...), geom.S(a, c1), geom.S(c1, b))})
+		full2 := opt.Cost(geom.Tree{Segs: append(append([]geom.Seg{}, tr.Segs...), geom.S(a, c2), geom.S(c2, b))})
+		if d1 := attachDelta(tr, a, c1, b, opt); d1 != full1-base {
+			t.Fatalf("trial %d: corner1 delta %d, full recost delta %d", trial, d1, full1-base)
+		}
+		if d2 := attachDelta(tr, a, c2, b, opt); d2 != full2-base {
+			t.Fatalf("trial %d: corner2 delta %d, full recost delta %d", trial, d2, full2-base)
+		}
+		got := attachL(tr, a, b, opt)
+		want := naiveAttachL(tr, a, b, opt)
+		if opt.Cost(got) != opt.Cost(want) {
+			t.Fatalf("trial %d: attachL cost %d, naive cost %d", trial, opt.Cost(got), opt.Cost(want))
+		}
+	}
+}

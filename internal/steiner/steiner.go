@@ -65,7 +65,10 @@ func MST(pins []geom.Point, opt Options) geom.Tree {
 }
 
 // attachL connects b to the tree at a using whichever L-shape corner yields
-// the lower option cost for the union.
+// the lower option cost for the union. The corners are compared through
+// exact local cost deltas rather than by materializing and re-costing two
+// full tree copies per attachment, which made MST construction quadratic
+// in segment count.
 func attachL(t geom.Tree, a, b geom.Point, opt Options) geom.Tree {
 	if a.X == b.X || a.Y == b.Y {
 		t.Append(geom.S(a, b))
@@ -73,12 +76,31 @@ func attachL(t geom.Tree, a, b geom.Point, opt Options) geom.Tree {
 	}
 	c1 := geom.Pt(b.X, a.Y)
 	c2 := geom.Pt(a.X, b.Y)
-	t1 := geom.Tree{Segs: append(append([]geom.Seg{}, t.Segs...), geom.S(a, c1), geom.S(c1, b))}
-	t2 := geom.Tree{Segs: append(append([]geom.Seg{}, t.Segs...), geom.S(a, c2), geom.S(c2, b))}
-	if opt.Cost(t1) <= opt.Cost(t2) {
-		return t1
+	if attachDelta(t, a, c1, b, opt) <= attachDelta(t, a, c2, b, opt) {
+		t.Append(geom.S(a, c1), geom.S(c1, b))
+	} else {
+		t.Append(geom.S(a, c2), geom.S(c2, b))
 	}
-	return t2
+	return t
+}
+
+// attachDelta returns the exact option-cost increase of adding the L-path
+// a -> c -> b to the tree. Wirelength coverage and bend status can only
+// change on points of the new path, and every canonical segment incident
+// to such a point shares a point with the path, so evaluating the cost on
+// that local neighborhood before and after the insertion yields the same
+// delta as re-costing the whole tree.
+func attachDelta(t geom.Tree, a, c, b geom.Point, opt Options) int {
+	s1, s2 := geom.S(a, c), geom.S(c, b)
+	var local geom.Tree
+	for _, s := range t.Segs {
+		if s.Touches(s1) || s.Touches(s2) {
+			local.Append(s)
+		}
+	}
+	before := opt.Cost(local)
+	local.Append(s1, s2)
+	return opt.Cost(local) - before
 }
 
 // Iterated1Steiner implements the iterated 1-Steiner heuristic: repeatedly

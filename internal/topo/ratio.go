@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/geom"
@@ -136,6 +137,32 @@ func matchedRCs(rc1 []geom.Seg, f1 []feature, rc2 []geom.Seg, f2 []feature) int 
 		}
 	}
 	return count
+}
+
+// RatioTable computes the dense table of regularity ratios between every
+// backbone pair of two objects: entry [i*len(b2)+j] is Ratio(b1[i], bit1,
+// b2[j], bit2). Nil backbones (2-D topologies that produced no surviving
+// candidate) yield NaN entries, which callers must never index — the
+// corresponding topology pair cannot be selected.
+func RatioTable(b1 []*geom.Tree, bit1 *signal.Bit, b2 []*geom.Tree, bit2 *signal.Bit) []float64 {
+	tab := make([]float64, len(b1)*len(b2))
+	for i, t1 := range b1 {
+		row := tab[i*len(b2) : (i+1)*len(b2)]
+		if t1 == nil {
+			for j := range row {
+				row[j] = math.NaN()
+			}
+			continue
+		}
+		for j, t2 := range b2 {
+			if t2 == nil {
+				row[j] = math.NaN()
+				continue
+			}
+			row[j] = Ratio(*t1, bit1, *t2, bit2)
+		}
+	}
+	return tab
 }
 
 // PairIrregularity converts a regularity ratio into the cost contribution
