@@ -5,6 +5,7 @@
 //	benchgen -industry 2 -out industry2.json
 //	benchgen -industry 2 -scale 0.25 -out small.json
 //	benchgen -all -dir bench/
+//	benchgen -all -stats                 # per-design generation timing
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/benchgen"
+	"repro/internal/signal"
 )
 
 func main() {
@@ -24,15 +27,28 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor (0,1]")
 		out      = flag.String("out", "", "output file (default stdout)")
 		dir      = flag.String("dir", ".", "output directory for -all")
+		stats    = flag.Bool("stats", false, "print per-design generation timing to stderr")
 	)
 	flag.Parse()
+
+	// generate times one design's generation when -stats is set.
+	generate := func(spec benchgen.Spec) *signal.Design {
+		t0 := time.Now()
+		d := spec.Generate()
+		if *stats {
+			fmt.Fprintf(os.Stderr, "stats: %-16s generated in %8.3fms (%d groups, %d nets, %d pins)\n",
+				d.Name, float64(time.Since(t0).Microseconds())/1e3,
+				len(d.Groups), d.NumNets(), d.NumPins())
+		}
+		return d
+	}
 
 	if *all {
 		for _, spec := range benchgen.AllIndustry() {
 			if *scale < 1 {
 				spec = benchgen.Scale(spec, *scale)
 			}
-			d := spec.Generate()
+			d := generate(spec)
 			name := strings.ReplaceAll(strings.ToLower(d.Name), "@", "-s")
 			path := filepath.Join(*dir, name+".json")
 			if err := d.SaveFile(path); err != nil {
@@ -53,7 +69,7 @@ func main() {
 	if *scale < 1 {
 		spec = benchgen.Scale(spec, *scale)
 	}
-	d := spec.Generate()
+	d := generate(spec)
 	if *out == "" {
 		if err := d.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)

@@ -10,6 +10,11 @@
 //	experiments -all                    # everything
 //	experiments -all -scale 0.1 -ilptime 5s -bench 1,3,7
 //	experiments -table 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -table 1 -stats stats.json   # per-bench stage telemetry
+//
+// With -stats every solver run is recorded (stage spans, counters); the
+// per-bench stage table prints after the experiments and the full reports
+// are written to the given JSON file.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,6 +48,7 @@ func run() int {
 		benchs     = flag.String("bench", "", "comma-separated Industry numbers (default all)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		statsOut   = flag.String("stats", "", "collect per-run solver telemetry, print the stage table and write the reports as JSON to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +84,9 @@ func run() int {
 		Out:     os.Stdout,
 		Scale:   *scale,
 		ILPTime: *ilpTime,
+	}
+	if *statsOut != "" {
+		cfg.Stats = obs.NewCollector()
 	}
 	if *benchs != "" {
 		for _, part := range strings.Split(*benchs, ",") {
@@ -125,6 +135,25 @@ func run() int {
 	if !did {
 		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table, -fig or -all")
 		return 2
+	}
+	if cfg.Stats != nil {
+		fmt.Println()
+		experiments.StageTable(os.Stdout, cfg.Stats)
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: stats: %v\n", err)
+			return 1
+		}
+		if err := experiments.WriteStats(f, cfg.Stats); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "experiments: stats: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: stats: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nstats written to %s (%d runs)\n", *statsOut, len(cfg.Stats.Runs()))
 	}
 	return 0
 }

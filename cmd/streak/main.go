@@ -6,17 +6,25 @@
 //	streak -design path/to/design.json [-method pd|ilp|hier] [-ilptime 60s]
 //	       [-fallback] [-timeout 0] [-audit off|warn|strict] [-workers 0]
 //	       [-nopost] [-heatmap] [-out routed.json]
+//	       [-stats report.json] [-debug-addr :6060]
 //	streak -industry 3 [-scale 0.2] ...
+//
+// With -stats the run writes a JSON telemetry report (per-stage spans,
+// solver counters, congestion snapshot; see DESIGN.md "Observability").
+// With -debug-addr the run serves /debug/vars, /debug/streak and
+// /debug/pprof/ for live inspection while the flow executes.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/benchgen"
+	"repro/internal/obs"
 
 	streak "repro"
 )
@@ -35,6 +43,8 @@ func main() {
 		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
 		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
 		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
+		statsOut   = flag.String("stats", "", "write the run's telemetry report (stage spans, solver counters, congestion) as JSON to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve the live debug endpoint (expvar, /debug/streak, net/http/pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -84,7 +94,38 @@ func main() {
 		defer cancel()
 	}
 
+	// Telemetry: -stats and -debug-addr both hang a recorder on the
+	// context; the pipeline stages pick it up via obs.FromContext.
+	var rec *obs.Recorder
+	if *statsOut != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+		rec.SetLabel("bench", design.Name)
+		rec.SetLabel("method", opt.Method.String())
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	if *debugAddr != "" {
+		srv, bound, err := obs.ServeDebug(*debugAddr, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streak:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/streak\n", bound)
+	}
+
 	res, err := streak.RouteCtx(ctx, design, opt)
+	if rec != nil && *statsOut != "" {
+		// Write the report even on failure: the spans and counters up to
+		// the failing stage are exactly what a post-mortem needs.
+		rep := rec.Report()
+		if res != nil {
+			rep.Congestion = obs.SnapshotCongestion(res.Usage, 16)
+		}
+		if werr := writeStats(*statsOut, rep); werr != nil {
+			fmt.Fprintln(os.Stderr, "streak:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streak:", err)
 		if res == nil {
@@ -112,6 +153,9 @@ func main() {
 			fmt.Printf("  violation %s\n", v)
 		}
 	}
+	if *statsOut != "" {
+		fmt.Printf("stats       %s\n", *statsOut)
+	}
 	if *heatmap {
 		fmt.Println("\ncongestion map:")
 		streak.WriteHeatmap(os.Stdout, res, 64)
@@ -135,6 +179,21 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// writeStats writes the telemetry report as indented JSON.
+func writeStats(path string, rep obs.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // solverNote annotates the method line when the fallback chain degraded.

@@ -9,10 +9,12 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/signal"
 )
@@ -129,6 +131,23 @@ func (r *Report) Err() error {
 		lines = append(lines, v.String())
 	}
 	return fmt.Errorf("audit: %s\n  %s", r.Summary(), strings.Join(lines, "\n  "))
+}
+
+// CheckCtx is Check instrumented through the context's telemetry recorder
+// (if any): the audit runs inside an "audit" stage span and records its
+// violation and coverage counters. The audit itself is identical to Check.
+func CheckCtx(ctx context.Context, d *signal.Design, g *grid.Grid, r *route.Routing) Report {
+	var rep Report
+	_ = obs.Do(ctx, obs.StageAudit, 0, func(context.Context) error {
+		rep = Check(d, g, r)
+		return nil
+	})
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("audit.violations", int64(len(rep.Violations)))
+		rec.Add("audit.bits", int64(rep.BitsAudited))
+		rec.Add("audit.edges", int64(rep.EdgesAudited))
+	}
+	return rep
 }
 
 // Check audits a routing against its design and grid. The grid must be the

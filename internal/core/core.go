@@ -14,6 +14,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/postopt"
 	"repro/internal/route"
 	"repro/internal/signal"
@@ -224,6 +225,13 @@ func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result,
 	if !solved {
 		return nil, fmt.Errorf("core: no solver produced a result")
 	}
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.SetLabel("solver", res.SolverUsed)
+		if res.Degraded {
+			rec.SetLabel("degraded", "true")
+		}
+		rec.Add("core.fallback.attempts", int64(len(res.Attempts)))
+	}
 
 	res.Routing = p.ExtractRouting(res.Assignment)
 	res.Usage = res.Routing.UsageOf(p.Grid)
@@ -255,11 +263,14 @@ func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result,
 	}
 
 	res.Runtime = time.Since(start)
-	res.Metrics = metrics.Compute(p.Design, res.Routing, res.Usage, opt.Post)
+	_ = obs.Do(ctx, obs.StageMetrics, 0, func(context.Context) error {
+		res.Metrics = metrics.Compute(p.Design, res.Routing, res.Usage, opt.Post)
+		return nil
+	})
 	res.Metrics.Runtime = res.Runtime
 
 	if opt.Audit != AuditOff {
-		rep := audit.Check(p.Design, p.Grid, res.Routing)
+		rep := audit.CheckCtx(ctx, p.Design, p.Grid, res.Routing)
 		res.Audit = &rep
 		if opt.Audit == AuditStrict {
 			if err := rep.Err(); err != nil {

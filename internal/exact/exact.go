@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -64,6 +65,21 @@ func Solve(p *route.Problem, opt Options) (Result, error) {
 // first wins), so callers can drive the exact leg with one deadline
 // mechanism.
 func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
+	var res Result
+	err := obs.Do(ctx, obs.StageILP, 0, func(ctx context.Context) error {
+		var err error
+		res, err = solveCtx(ctx, p, opt)
+		return err
+	})
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("exact.vars", int64(res.Vars))
+		rec.Add("exact.cons", int64(res.Cons))
+	}
+	return res, err
+}
+
+// solveCtx is the span-free body of SolveCtx.
+func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
 	start := time.Now()
 	maxVars := opt.MaxVars
 	if maxVars == 0 {

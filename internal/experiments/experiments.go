@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/postopt"
 	"repro/internal/report"
 	"repro/internal/route"
@@ -36,6 +38,9 @@ type Config struct {
 	ILPMaxVars int
 	// Benchmarks lists the Industry numbers to run (default 1..7).
 	Benchmarks []int
+	// Stats, when non-nil, collects one telemetry report per (bench, flow)
+	// solver run; render them with StageTable or serialize with WriteStats.
+	Stats *obs.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +75,15 @@ type benchDesign struct {
 	d    *signal.Design
 }
 
+// run executes one solver flow under the config's telemetry collector (a
+// nil collector makes this a plain core.RunProblem). flow tags the run's
+// report ("pd", "ilp", ...).
+func (c Config) run(p *route.Problem, flow string, opt core.Options) (*core.Result, error) {
+	ctx, finish := c.Stats.Start(context.Background(), p.Design.Name, flow)
+	defer finish()
+	return core.RunProblemCtx(ctx, p, opt)
+}
+
 // solveILP runs the exact flow; oversize models and timeouts both surface
 // as timedOut (the paper's "> 3600" rows).
 func (c Config) solveILP(p *route.Problem, post bool) (*core.Result, bool, error) {
@@ -82,12 +96,12 @@ func (c Config) solveILP(p *route.Problem, post bool) (*core.Result, bool, error
 		Clustering:   post,
 		Refinement:   post,
 	}
-	res, err := core.RunProblem(p, opt)
+	res, err := c.run(p, "ilp", opt)
 	if err != nil {
 		// Oversize model: fall back to the primal-dual solution but tag
 		// the row as exceeding the limit, like the paper's congested rows.
 		opt.Method = core.PrimalDual
-		res, err2 := core.RunProblem(p, opt)
+		res, err2 := c.run(p, "ilp>pd", opt)
 		if err2 != nil {
 			return nil, true, err
 		}
@@ -97,7 +111,7 @@ func (c Config) solveILP(p *route.Problem, post bool) (*core.Result, bool, error
 }
 
 func (c Config) solvePD(p *route.Problem, post bool) (*core.Result, error) {
-	return core.RunProblem(p, core.Options{
+	return c.run(p, "pd", core.Options{
 		Method:     core.PrimalDual,
 		PostOpt:    post,
 		Clustering: post,

@@ -146,7 +146,7 @@ func Fig14(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		without, err := core.RunProblem(p, core.Options{
+		without, err := cfg.run(p, "pd-noclus", core.Options{
 			Method: core.PrimalDual, PostOpt: true, Clustering: false, Refinement: true,
 		})
 		if err != nil {
@@ -181,7 +181,7 @@ func Fig15(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		without, err := core.RunProblem(p, core.Options{
+		without, err := cfg.run(p, "pd-norefine", core.Options{
 			Method: core.PrimalDual, PostOpt: true, Clustering: true, Refinement: false,
 		})
 		if err != nil {

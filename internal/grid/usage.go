@@ -43,6 +43,13 @@ func (u *Usage) Avail(l, idx int) int {
 	return int(u.g.caps[l][idx] - u.use[l][idx])
 }
 
+// EdgeCap returns the base capacity of edge idx of layer l — the dense
+// counterpart of Grid.Cap, so snapshotters can walk every edge without the
+// cell-coordinate round trip.
+func (u *Usage) EdgeCap(l, idx int) int {
+	return int(u.g.caps[l][idx])
+}
+
 // Add adjusts the usage on edge idx of layer l by delta (may be negative
 // to release tracks). It panics if usage would go negative, which means a
 // release without a matching reservation.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -82,6 +83,22 @@ func Solve(p *route.Problem, opt Options) Result {
 // committed so far. Each tile's ILP deadline is the smaller of TimePerTile
 // and the context deadline.
 func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
+	var res Result
+	err := obs.Do(ctx, obs.StageHier, opt.Workers, func(ctx context.Context) error {
+		var err error
+		res, err = solveCtx(ctx, p, opt)
+		return err
+	})
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("hier.tiles.solved", int64(res.TilesSolved))
+		rec.Add("hier.tiles.timedout", int64(res.TilesTimedOut))
+		rec.Add("hier.greedy.routed", int64(res.GreedyRouted))
+	}
+	return res, err
+}
+
+// solveCtx is the span-free body of SolveCtx.
+func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
 	start := time.Now()
 	opt = opt.withDefaults()
 

@@ -36,6 +36,15 @@ func TestParallelTilesIndustry5(t *testing.T) {
 	}
 
 	again := Solve(p, Options{Tiles: 2, TimePerTile: 2 * time.Second, Workers: 4})
+	// Reproducibility is only guaranteed when no tile ILP hit its
+	// wall-clock limit: a timed-out tile returns its incumbent, which
+	// depends on how far the solve got (under -race the 2 s budget is
+	// nondeterministically exhausted). Timed-out runs are still legal and
+	// comparable above; only the bit-identical check needs clean solves.
+	if par.TilesTimedOut > 0 || again.TilesTimedOut > 0 {
+		t.Skipf("tile ILPs timed out (%d, %d); skipping reproducibility check",
+			par.TilesTimedOut, again.TilesTimedOut)
+	}
 	if !reflect.DeepEqual(par.Assignment, again.Assignment) {
 		t.Error("parallel tile solve is not reproducible across runs")
 	}

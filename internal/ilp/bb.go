@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Status reports the outcome of an ILP solve.
@@ -108,6 +110,22 @@ func Solve(m *Model, opt SolveOptions) Result {
 	nodes := 0
 	timedOut := false
 	canceled := false
+	pruned := 0
+	simplexIters := 0
+	lazyActivated := 0
+	rec := obs.FromContext(ctx)
+	defer func() {
+		if rec == nil {
+			return
+		}
+		// One ilp.Solve call per monolithic exact solve, many per
+		// hierarchical run (one per tile) — counters accumulate across them.
+		rec.Add("ilp.solves", 1)
+		rec.Add("ilp.bb.nodes", int64(nodes))
+		rec.Add("ilp.bb.pruned", int64(pruned))
+		rec.Add("ilp.simplex.iterations", int64(simplexIters))
+		rec.Add("ilp.lazy.activated", int64(lazyActivated))
+	}()
 
 	// Lazy-row management: the LP starts with only the base constraints;
 	// violated lazy rows are activated globally as relaxation solutions
@@ -119,6 +137,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 		for _, li := range idxs {
 			if !lazyActive[li] {
 				lazyActive[li] = true
+				lazyActivated++
 				activeCons = append(activeCons, m.lazy[li])
 			}
 		}
@@ -142,6 +161,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 		nodes++
 
 		res := m.solveLP(ctx, activeCons, nd.lo, nd.hi, deadline)
+		simplexIters += res.iters
 		// Activate violated lazy rows and re-solve until the relaxation
 		// respects every discovered constraint (bounded rounds per node).
 		for round := 0; res.status == lpOptimal && round < 20; round++ {
@@ -151,6 +171,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 			}
 			activate(viol)
 			res = m.solveLP(ctx, activeCons, nd.lo, nd.hi, deadline)
+			simplexIters += res.iters
 		}
 		switch res.status {
 		case lpInfeasible:
@@ -173,6 +194,7 @@ func Solve(m *Model, opt SolveOptions) Result {
 			continue
 		}
 		if res.obj >= bestObj-1e-9 {
+			pruned++
 			continue // bound prune
 		}
 		if gi := fractionalSOS(m, res.x); gi >= 0 {

@@ -20,6 +20,7 @@ type lpResult struct {
 	status lpStatus
 	x      []float64 // structural variable values
 	obj    float64
+	iters  int // simplex iterations spent (pivots + bound flips)
 }
 
 // solveLP minimizes the model objective over the LP relaxation with the
@@ -148,16 +149,17 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 
 	maxIter := 200 * (rows + ncols + 10)
 	blandAfter := 20 * (rows + ncols + 10)
-	for iter := 0; ; iter++ {
+	iter := 0
+	for ; ; iter++ {
 		if iter > maxIter {
-			return lpResult{status: lpIterLimit}
+			return lpResult{status: lpIterLimit, iters: iter}
 		}
 		if iter%64 == 63 {
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				return lpResult{status: lpIterLimit}
+				return lpResult{status: lpIterLimit, iters: iter}
 			}
 			if ctx.Err() != nil {
-				return lpResult{status: lpIterLimit}
+				return lpResult{status: lpIterLimit, iters: iter}
 			}
 		}
 		useBland := iter > blandAfter
@@ -228,7 +230,7 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		if math.IsInf(tstep, 1) {
 			// Unbounded descent cannot happen with bounded structurals and
 			// slack-only rays; treat as numeric trouble.
-			return lpResult{status: lpIterLimit}
+			return lpResult{status: lpIterLimit, iters: iter}
 		}
 
 		if leave == -1 {
@@ -294,7 +296,7 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		if b < n {
 			x[b] = xB[i]
 		} else if b >= n+rows && xB[i] > 1e-6 {
-			return lpResult{status: lpInfeasible}
+			return lpResult{status: lpInfeasible, iters: iter}
 		}
 	}
 	obj := 0.0
@@ -308,5 +310,5 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		}
 		obj += m.obj[j] * x[j]
 	}
-	return lpResult{status: lpOptimal, x: x, obj: obj}
+	return lpResult{status: lpOptimal, x: x, obj: obj, iters: iter}
 }

@@ -56,26 +56,30 @@ func Compute(d *signal.Design, r *route.Routing, u *grid.Usage, opt postopt.Opti
 	if pitch == 0 {
 		pitch = 1
 	}
-	wl := 0
+	// Wirelength accumulates in int64 and is scaled by the pitch in
+	// float64: the old int accumulation (`float64(wl * pitch)`) silently
+	// overflowed the multiply on large grids and pitches before the
+	// conversion could save it.
+	var wl int64
 	for gi := range d.Groups {
 		g := &d.Groups[gi]
 		groupRouted := true
 		for bi := range g.Bits {
 			br := &r.Bits[gi][bi]
 			if br.Routed {
-				wl += br.Tree.WireLength()
+				wl += int64(br.Tree.WireLength())
 			} else {
 				groupRouted = false
 				// RSMT estimate for unrouted bits, as the paper does for
 				// fair whole-design wirelength reporting.
-				wl += steiner.Length(g.Bits[bi].PinLocs())
+				wl += int64(steiner.Length(g.Bits[bi].PinLocs()))
 			}
 		}
 		if groupRouted {
 			m.RoutedGroups++
 		}
 	}
-	m.WL = float64(wl * pitch)
+	m.WL = float64(wl) * float64(pitch)
 	if m.Groups > 0 {
 		m.RouteFrac = float64(m.RoutedGroups) / float64(m.Groups)
 	}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// Run tags one collected report with the benchmark and flow it measured.
+type Run struct {
+	// Bench is the design name; Flow names the solver configuration
+	// ("pd", "ilp", ...).
+	Bench string `json:"bench"`
+	Flow  string `json:"flow"`
+	// Report is the run's telemetry.
+	Report Report `json:"report"`
+}
+
+// Collector aggregates per-run reports across an experiment sweep. A nil
+// collector disables collection: Start returns the context unchanged.
+type Collector struct {
+	mu   sync.Mutex
+	runs []Run
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Start attaches a fresh recorder for one (bench, flow) run to the context
+// and returns the finish function that collects its report. With a nil
+// collector both the context and the finisher are pass-throughs.
+func (c *Collector) Start(ctx context.Context, bench, flow string) (context.Context, func()) {
+	if c == nil {
+		return ctx, func() {}
+	}
+	rec := NewRecorder()
+	rec.SetLabel("bench", bench)
+	rec.SetLabel("flow", flow)
+	return WithRecorder(ctx, rec), func() {
+		rep := rec.Report()
+		c.mu.Lock()
+		c.runs = append(c.runs, Run{Bench: bench, Flow: flow, Report: rep})
+		c.mu.Unlock()
+	}
+}
+
+// Runs returns a copy of the collected runs in completion order.
+func (c *Collector) Runs() []Run {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Run(nil), c.runs...)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// HistBuckets is the number of utilization buckets in a layer histogram:
+// bucket k (k < 10) counts edges with utilization in [k*10%, (k+1)*10%),
+// bucket 10 counts exactly-full edges and everything up to 100%, and bucket
+// 11 counts overflowed edges (utilization > 100%, including wires through
+// zero-capacity edges).
+const HistBuckets = 12
+
+// LayerCongestion summarizes one layer's capacity pressure.
+type LayerCongestion struct {
+	// Layer is the layer index; Name and Dir describe it.
+	Layer int    `json:"layer"`
+	Name  string `json:"name"`
+	Dir   string `json:"dir"`
+	// Edges is the number of routing edges on the layer.
+	Edges int `json:"edges"`
+	// Used and Cap are total tracks in use and total base capacity.
+	Used int64 `json:"used"`
+	Cap  int64 `json:"cap"`
+	// Overflow and OverflowEdges mirror grid.Usage for this layer.
+	Overflow      int `json:"overflow"`
+	OverflowEdges int `json:"overflow_edges"`
+	// Hist is the utilization histogram (see HistBuckets).
+	Hist [HistBuckets]int `json:"hist"`
+}
+
+// EdgeHotspot is one high-pressure edge in a snapshot.
+type EdgeHotspot struct {
+	Layer int `json:"layer"`
+	X     int `json:"x"`
+	Y     int `json:"y"`
+	Use   int `json:"use"`
+	Cap   int `json:"cap"`
+	// UtilPct is use/cap as a percentage (overflowed edges exceed 100;
+	// wires through zero-capacity edges report 200).
+	UtilPct int `json:"util_pct"`
+}
+
+// CongestionSnapshot is a point-in-time summary of track usage: per-layer
+// utilization histograms plus the top-K overflow-risk edges, ranked by
+// utilization (then usage, then position, so the ranking is deterministic).
+type CongestionSnapshot struct {
+	Layers   []LayerCongestion `json:"layers"`
+	TopEdges []EdgeHotspot     `json:"top_edges,omitempty"`
+}
+
+// utilPct computes the percentage utilization of one edge; zero-capacity
+// edges carrying wires report 200 so they always rank as overflowed.
+func utilPct(use, cap int) int {
+	switch {
+	case cap > 0:
+		return use * 100 / cap
+	case use > 0:
+		return 200
+	default:
+		return 0
+	}
+}
+
+// SnapshotCongestion summarizes the usage tracker: per-layer histograms and
+// the topK highest-utilization edges with non-zero use. A nil usage yields
+// a nil snapshot.
+func SnapshotCongestion(u *grid.Usage, topK int) *CongestionSnapshot {
+	if u == nil {
+		return nil
+	}
+	g := u.Grid()
+	snap := &CongestionSnapshot{Layers: make([]LayerCongestion, len(g.Layers))}
+	var hot []EdgeHotspot
+	for l, layer := range g.Layers {
+		lc := LayerCongestion{Layer: l, Name: layer.Name, Dir: layer.Dir.String(), Edges: g.EdgeCount(l)}
+		for idx := 0; idx < lc.Edges; idx++ {
+			use := u.Use(l, idx)
+			cap := u.EdgeCap(l, idx)
+			lc.Used += int64(use)
+			lc.Cap += int64(cap)
+			if over := use - cap; over > 0 {
+				lc.Overflow += over
+				lc.OverflowEdges++
+			}
+			pct := utilPct(use, cap)
+			switch {
+			case pct > 100:
+				lc.Hist[HistBuckets-1]++
+			case pct == 100 && use > 0:
+				lc.Hist[HistBuckets-2]++
+			default:
+				b := pct / 10
+				if b > HistBuckets-2 {
+					b = HistBuckets - 2
+				}
+				lc.Hist[b]++
+			}
+			if topK > 0 && use > 0 {
+				x, y := g.EdgeCell(l, idx)
+				hot = append(hot, EdgeHotspot{Layer: l, X: x, Y: y, Use: use, Cap: cap, UtilPct: pct})
+			}
+		}
+		snap.Layers[l] = lc
+	}
+	if topK > 0 && len(hot) > 0 {
+		sort.Slice(hot, func(i, j int) bool {
+			a, b := hot[i], hot[j]
+			if a.UtilPct != b.UtilPct {
+				return a.UtilPct > b.UtilPct
+			}
+			if a.Use != b.Use {
+				return a.Use > b.Use
+			}
+			if a.Layer != b.Layer {
+				return a.Layer < b.Layer
+			}
+			if a.Y != b.Y {
+				return a.Y < b.Y
+			}
+			return a.X < b.X
+		})
+		if len(hot) > topK {
+			hot = hot[:topK]
+		}
+		snap.TopEdges = hot
+	}
+	return snap
+}

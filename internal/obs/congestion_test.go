@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// snapGrid builds a 4x4 two-layer grid with capacity 2 everywhere.
+func snapGrid() *grid.Grid {
+	return grid.New(4, 4, grid.DefaultLayers(2, 2))
+}
+
+func TestSnapshotCongestionNilUsage(t *testing.T) {
+	if snap := SnapshotCongestion(nil, 8); snap != nil {
+		t.Fatalf("nil usage snapshot = %+v", snap)
+	}
+}
+
+func TestSnapshotCongestionEmpty(t *testing.T) {
+	u := grid.NewUsage(snapGrid())
+	snap := SnapshotCongestion(u, 8)
+	if len(snap.Layers) != 2 {
+		t.Fatalf("layers = %d", len(snap.Layers))
+	}
+	for _, lc := range snap.Layers {
+		if lc.Used != 0 || lc.Overflow != 0 {
+			t.Errorf("layer %d not empty: %+v", lc.Layer, lc)
+		}
+		// Every edge idles in the 0% bucket.
+		if lc.Hist[0] != lc.Edges {
+			t.Errorf("layer %d hist = %v, edges = %d", lc.Layer, lc.Hist, lc.Edges)
+		}
+	}
+	if len(snap.TopEdges) != 0 {
+		t.Errorf("hotspots on empty usage: %+v", snap.TopEdges)
+	}
+}
+
+func TestSnapshotCongestionBucketsAndHotspots(t *testing.T) {
+	g := snapGrid()
+	u := grid.NewUsage(g)
+	// Layer 0 (horizontal): edge 0 half-full, edge 1 exactly full, edge 2
+	// overflowed by 1.
+	u.Add(0, 0, 1)
+	u.Add(0, 1, 2)
+	u.Add(0, 2, 3)
+	snap := SnapshotCongestion(u, 2)
+
+	l0 := snap.Layers[0]
+	if l0.Used != 6 || l0.Overflow != 1 || l0.OverflowEdges != 1 {
+		t.Errorf("layer 0 = %+v", l0)
+	}
+	if l0.Hist[5] != 1 { // 50%
+		t.Errorf("50%% bucket = %d, hist %v", l0.Hist[5], l0.Hist)
+	}
+	if l0.Hist[HistBuckets-2] != 1 { // exactly full
+		t.Errorf("full bucket = %d, hist %v", l0.Hist[HistBuckets-2], l0.Hist)
+	}
+	if l0.Hist[HistBuckets-1] != 1 { // overflowed
+		t.Errorf("overflow bucket = %d, hist %v", l0.Hist[HistBuckets-1], l0.Hist)
+	}
+
+	// topK=2 keeps the overflowed and the full edge, in that order.
+	if len(snap.TopEdges) != 2 {
+		t.Fatalf("hotspots = %+v", snap.TopEdges)
+	}
+	if snap.TopEdges[0].UtilPct != 150 || snap.TopEdges[1].UtilPct != 100 {
+		t.Errorf("hotspot ranking wrong: %+v", snap.TopEdges)
+	}
+}
+
+func TestSnapshotZeroCapEdgeRanksOverflowed(t *testing.T) {
+	g := snapGrid()
+	g.SetCap(0, 0, 0, 0)
+	u := grid.NewUsage(g)
+	idx := g.EdgeIndex(0, 0, 0)
+	u.Add(0, idx, 1) // a wire through a blocked edge
+	snap := SnapshotCongestion(u, 1)
+	if snap.Layers[0].Hist[HistBuckets-1] != 1 {
+		t.Errorf("blocked edge not in overflow bucket: %v", snap.Layers[0].Hist)
+	}
+	if len(snap.TopEdges) != 1 || snap.TopEdges[0].UtilPct != 200 {
+		t.Errorf("blocked edge hotspot = %+v", snap.TopEdges)
+	}
+}
+
+// TestEdgeCapMatchesGridCap pins the dense capacity accessor against the
+// cell-coordinate one it mirrors.
+func TestEdgeCapMatchesGridCap(t *testing.T) {
+	g := snapGrid()
+	g.SetCap(1, 2, 1, 7)
+	u := grid.NewUsage(g)
+	for l := 0; l < 2; l++ {
+		for idx := 0; idx < g.EdgeCount(l); idx++ {
+			x, y := g.EdgeCell(l, idx)
+			if got, want := u.EdgeCap(l, idx), g.Cap(l, x, y); got != want {
+				t.Fatalf("EdgeCap(%d,%d) = %d, Cap(%d,%d,%d) = %d", l, idx, got, l, x, y, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package pd
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/route"
+)
+
+// flipCtx is a context whose Err() starts returning context.Canceled after
+// the first `after` calls — a deterministic way to cancel mid-solve at an
+// exact iteration boundary, independent of timing.
+type flipCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSolveCtxMidCancelPartialResult pins the partial-result contract of
+// SolveCtx under mid-solve cancellation: committed objects carry a valid
+// candidate index, every uncommitted object stays at -1, and Objective is
+// formulation (3a) evaluated over exactly that partial assignment — not a
+// stale or full-solve value.
+func TestSolveCtxMidCancelPartialResult(t *testing.T) {
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Solve(p)
+	if full.Iterations < 3 {
+		t.Skipf("need >= 3 commit iterations to cancel mid-solve, got %d", full.Iterations)
+	}
+
+	// Cancel after two commit iterations: the loop checks ctx.Err() once
+	// per iteration, so call 3 sees the cancellation.
+	for _, after := range []int64{1, 2, int64(full.Iterations) - 1} {
+		ctx := &flipCtx{Context: context.Background(), after: after}
+		res, err := SolveCtx(ctx, p)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+		}
+		if got := int64(res.Iterations); got > after {
+			t.Errorf("after=%d: %d iterations ran past the cancellation point", after, got)
+		}
+		if len(res.Assignment.Choice) != len(p.Objects) {
+			t.Fatalf("after=%d: assignment covers %d of %d objects",
+				after, len(res.Assignment.Choice), len(p.Objects))
+		}
+		committed := 0
+		for i, c := range res.Assignment.Choice {
+			if c == -1 {
+				continue // uncommitted objects must stay at -1
+			}
+			if c < 0 || c >= len(p.Cands[i]) {
+				t.Fatalf("after=%d: object %d choice %d out of range [0,%d)",
+					after, i, c, len(p.Cands[i]))
+			}
+			committed++
+		}
+		if int64(committed) > after {
+			t.Errorf("after=%d: %d objects committed past the cancellation point", after, committed)
+		}
+		// The reported objective must be (3a) over the partial assignment.
+		if want := p.ObjectiveValue(res.Assignment); res.Objective != want {
+			t.Errorf("after=%d: Objective = %v, want %v (objective over the partial assignment)",
+				after, res.Objective, want)
+		}
+		// Capacity constraints hold at every step by construction: the
+		// partial routing must be overflow-free.
+		r := p.ExtractRouting(res.Assignment)
+		u := r.UsageOf(p.Grid)
+		if of := u.Overflow(); of != 0 {
+			t.Errorf("after=%d: partial assignment overflows by %d", after, of)
+		}
+	}
+}
+
+// TestSolveCtxCancelBeforeStart pins the degenerate case: a context
+// canceled before the first iteration yields the all-unrouted assignment
+// (every choice -1) and its objective, not garbage.
+func TestSolveCtxCancelBeforeStart(t *testing.T) {
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	p, err := route.Build(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveCtx(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, c := range res.Assignment.Choice {
+		if c != -1 {
+			t.Fatalf("object %d choice = %d, want -1 (nothing committed)", i, c)
+		}
+	}
+	if want := p.ObjectiveValue(res.Assignment); res.Objective != want {
+		t.Errorf("Objective = %v, want %v", res.Objective, want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -40,8 +41,22 @@ func Solve(p *route.Problem) Result {
 // SolveCtx is Solve honoring the context: cancellation (or an expired
 // deadline) is checked before every commit iteration, so the call returns
 // promptly with ctx's error and the partial assignment committed so far.
-// Edge capacities hold at every step, so the partial result is legal.
+// Edge capacities hold at every step, so the partial result is legal:
+// committed objects carry their candidate index, every uncommitted object
+// stays at -1, and Result.Objective is formulation (3a) evaluated over
+// exactly that partial assignment.
 func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
+	var res Result
+	err := obs.Do(ctx, obs.StagePD, p.Opt.WorkerCount(), func(ctx context.Context) error {
+		var err error
+		res, err = solveCtx(ctx, p)
+		return err
+	})
+	return res, err
+}
+
+// solveCtx is the span-free body of SolveCtx (Algorithm 2).
+func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 	start := time.Now()
 	n := len(p.Objects)
 	a := p.NewAssignment()
@@ -72,6 +87,17 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 	var pruneRefs []candRef // reused across commits
 
 	iterations := 0
+	rec := obs.FromContext(ctx)
+	var pruneChecked, pruneSurvivors int64
+	defer func() {
+		if rec == nil {
+			return
+		}
+		rec.Add("pd.iterations", int64(iterations))
+		rec.Add("pd.routed", int64(a.RoutedObjects()))
+		rec.Add("pd.prune.checked", pruneChecked)
+		rec.Add("pd.prune.survivors", pruneSurvivors)
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result{
@@ -142,6 +168,14 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 			pruneRefs = append(pruneRefs, ref)
 		}
 		pruneParallel(p, u, alive, pruneRefs, workers)
+		if rec != nil {
+			pruneChecked += int64(len(pruneRefs))
+			for _, ref := range pruneRefs {
+				if alive[ref.i][ref.j] {
+					pruneSurvivors++
+				}
+			}
+		}
 		for i := 0; i < n; i++ {
 			if done[i] {
 				continue

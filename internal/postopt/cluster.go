@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/signal"
 	"repro/internal/steiner"
@@ -84,16 +85,24 @@ func ClusterAndRoute(p *route.Problem, r *route.Routing, u *grid.Usage, opt Opti
 func ClusterAndRouteCtx(ctx context.Context, p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) (ClusterStats, error) {
 	opt = opt.withDefaults()
 	var stats ClusterStats
-	for gi := range p.Design.Groups {
-		if err := ctx.Err(); err != nil {
-			return stats, fmt.Errorf("postopt: cluster: %w", err)
+	err := obs.Do(ctx, obs.StageCluster, 0, func(ctx context.Context) error {
+		for gi := range p.Design.Groups {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("postopt: cluster: %w", err)
+			}
+			if r.GroupRouted(gi) {
+				continue
+			}
+			stats = addStats(stats, clusterGroup(p, r, u, gi, opt))
 		}
-		if r.GroupRouted(gi) {
-			continue
-		}
-		stats = addStats(stats, clusterGroup(p, r, u, gi, opt))
+		return nil
+	})
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("postopt.cluster.bits_routed", int64(stats.BitsRouted))
+		rec.Add("postopt.cluster.bits_left", int64(stats.BitsLeft))
+		rec.Add("postopt.cluster.clusters", int64(stats.Clusters))
 	}
-	return stats, nil
+	return stats, err
 }
 
 func addStats(a, b ClusterStats) ClusterStats {

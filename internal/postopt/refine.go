@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/signal"
 )
@@ -161,21 +162,29 @@ func Refine(p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) Refi
 func RefineCtx(ctx context.Context, p *route.Problem, r *route.Routing, u *grid.Usage, opt Options) (RefineStats, error) {
 	opt = opt.withDefaults()
 	var stats RefineStats
-	stats.GroupsBefore = CountViolatedGroups(p.Design, r, opt)
-	for _, v := range findViolations(p.Design, r, opt) {
-		if err := ctx.Err(); err != nil {
-			stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
-			return stats, fmt.Errorf("postopt: refine: %w", err)
+	err := obs.Do(ctx, obs.StageRefine, 0, func(ctx context.Context) error {
+		stats.GroupsBefore = CountViolatedGroups(p.Design, r, opt)
+		for _, v := range findViolations(p.Design, r, opt) {
+			if err := ctx.Err(); err != nil {
+				stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
+				return fmt.Errorf("postopt: refine: %w", err)
+			}
+			if fixed, added := detourPin(p.Design, r, u, v); fixed {
+				stats.PinsFixed++
+				stats.AddedWL += added
+			} else {
+				stats.PinsLeft++
+			}
 		}
-		if fixed, added := detourPin(p.Design, r, u, v); fixed {
-			stats.PinsFixed++
-			stats.AddedWL += added
-		} else {
-			stats.PinsLeft++
-		}
+		stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
+		return nil
+	})
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("postopt.refine.pins_fixed", int64(stats.PinsFixed))
+		rec.Add("postopt.refine.pins_left", int64(stats.PinsLeft))
+		rec.Add("postopt.refine.added_wl", int64(stats.AddedWL))
 	}
-	stats.GroupsAfter = CountViolatedGroups(p.Design, r, opt)
-	return stats, nil
+	return stats, err
 }
 
 // detourPin lengthens the connection to the violating pin by a U-shaped

@@ -1,0 +1,79 @@
+package route
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+// flipCtx is a context whose Err() starts returning context.Canceled after
+// the first `after` calls, cancelling deterministically at an exact
+// ctx-check boundary. Err is called concurrently by parallelFor workers, so
+// the counter is atomic.
+type flipCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBuildCtxMidCancelNilProblem pins BuildCtx's error contract: a
+// cancellation at ANY point of the build — candidate fan-out or kernel
+// fill, sequential or parallel — yields (nil, err), never a half-stitched
+// Problem the caller could use after cancel.
+func TestBuildCtxMidCancelNilProblem(t *testing.T) {
+	d := benchgen.Scale(benchgen.Industry(3), 0.06).Generate()
+	for _, workers := range []int{1, 4} {
+		// Sweep the cancellation point across the whole build: small
+		// `after` values cancel during candidate generation, larger ones
+		// during the kernel fill.
+		for _, after := range []int64{1, 2, 8, 64, 512} {
+			ctx := &flipCtx{Context: context.Background(), after: after}
+			p, err := BuildCtx(ctx, d, Options{Workers: workers})
+			if err == nil {
+				// The flip point landed past the last ctx check — the build
+				// legitimately completed. That only happens for the largest
+				// `after` values; nothing to assert beyond a usable problem.
+				if p == nil {
+					t.Fatalf("workers=%d after=%d: nil problem without error", workers, after)
+				}
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d after=%d: err = %v, want context.Canceled", workers, after, err)
+			}
+			if p != nil {
+				t.Fatalf("workers=%d after=%d: BuildCtx returned a non-nil problem alongside %v",
+					workers, after, err)
+			}
+		}
+	}
+}
+
+// TestParallelForMidCancelStops pins that parallelFor stops handing out
+// work once the context flips: no item index at or past the flip point may
+// start more than `workers` items later (each in-flight worker may finish
+// the item it already claimed).
+func TestParallelForMidCancelStops(t *testing.T) {
+	const n, workers, after = 1000, 4, 10
+	ctx := &flipCtx{Context: context.Background(), after: after}
+	var ran atomic.Int64
+	err := parallelFor(ctx, workers, n, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each of the `workers` goroutines checks Err before claiming an item,
+	// so at most `after` items can ever start.
+	if got := ran.Load(); got > after {
+		t.Errorf("%d items ran after cancellation (flip at %d checks)", got, after)
+	}
+}

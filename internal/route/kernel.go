@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -80,6 +81,10 @@ func (p *Problem) buildKernel(ctx context.Context, workers int) error {
 				eager = append(eager, k)
 			}
 		}
+	}
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("kernel.pairs.eager", int64(len(eager)))
+		rec.Add("kernel.pairs.lazy", int64(len(p.kern.pairs)-len(eager)))
 	}
 	return parallelFor(ctx, workers, len(eager), func(x int) {
 		p.fillPair(eager[x])

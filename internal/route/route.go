@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/signal"
 	"repro/internal/topo"
 )
@@ -143,18 +144,30 @@ func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, err
 	}
 	workers := opt.WorkerCount()
 	p.Cands = make([][]topo.Candidate, len(p.Objects))
-	err := parallelFor(ctx, workers, len(p.Objects), func(i int) {
-		obj := &p.Objects[i]
-		g := &d.Groups[obj.GroupIdx]
-		ots := topo.ObjectTopologies(g, obj, opt.Topo)
-		cands := topo.Expand3D(p.Grid, ots, opt.Topo)
-		p.Cands[i] = trimDiverse(cands, opt.MaxCandidates)
+	err := obs.Do(ctx, obs.StageBuild, workers, func(ctx context.Context) error {
+		return parallelFor(ctx, workers, len(p.Objects), func(i int) {
+			obj := &p.Objects[i]
+			g := &d.Groups[obj.GroupIdx]
+			ots := topo.ObjectTopologies(g, obj, opt.Topo)
+			cands := topo.Expand3D(p.Grid, ots, opt.Topo)
+			p.Cands[i] = trimDiverse(cands, opt.MaxCandidates)
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}
+	if rec := obs.FromContext(ctx); rec != nil {
+		total := 0
+		for i := range p.Cands {
+			total += len(p.Cands[i])
+		}
+		rec.Add("build.objects", int64(len(p.Objects)))
+		rec.Add("build.candidates", int64(total))
+	}
 	p.indexBits()
-	if err := p.buildKernel(ctx, workers); err != nil {
+	if err := obs.Do(ctx, obs.StageKernel, workers, func(ctx context.Context) error {
+		return p.buildKernel(ctx, workers)
+	}); err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}
 	return p, nil
