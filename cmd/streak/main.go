@@ -6,13 +6,17 @@
 //	streak -design path/to/design.json [-method pd|ilp|hier] [-ilptime 60s]
 //	       [-fallback] [-timeout 0] [-audit off|warn|strict] [-workers 0]
 //	       [-nopost] [-heatmap] [-out routed.json]
-//	       [-stats report.json] [-debug-addr :6060]
+//	       [-stats report.json] [-trace trace.json] [-debug-addr :6060]
 //	streak -industry 3 [-scale 0.2] ...
 //
 // With -stats the run writes a JSON telemetry report (per-stage spans,
-// solver counters, congestion snapshot; see DESIGN.md "Observability").
-// With -debug-addr the run serves /debug/vars, /debug/streak and
-// /debug/pprof/ for live inspection while the flow executes.
+// solver counters, congestion snapshot, convergence series; see DESIGN.md
+// "Observability" and "Tracing & convergence"). With -trace it writes a
+// Chrome trace_event file of the same run — per-object and per-solver-step
+// events nested under the stage spans — loadable in Perfetto
+// (https://ui.perfetto.dev) or Chrome's about://tracing. With -debug-addr
+// the run serves /debug/vars, /debug/streak and /debug/pprof/ for live
+// inspection while the flow executes.
 package main
 
 import (
@@ -43,7 +47,8 @@ func main() {
 		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
 		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
 		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
-		statsOut   = flag.String("stats", "", "write the run's telemetry report (stage spans, solver counters, congestion) as JSON to this file")
+		statsOut   = flag.String("stats", "", "write the run's telemetry report (stage spans, solver counters, congestion, convergence series) as JSON to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in Perfetto or about://tracing)")
 		debugAddr  = flag.String("debug-addr", "", "serve the live debug endpoint (expvar, /debug/streak, net/http/pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
@@ -97,10 +102,11 @@ func main() {
 	// Telemetry: -stats and -debug-addr both hang a recorder on the
 	// context; the pipeline stages pick it up via obs.FromContext.
 	var rec *obs.Recorder
-	if *statsOut != "" || *debugAddr != "" {
+	if *statsOut != "" || *traceOut != "" || *debugAddr != "" {
 		rec = obs.NewRecorder()
 		rec.SetLabel("bench", design.Name)
 		rec.SetLabel("method", opt.Method.String())
+		rec.AnnotateBuildInfo()
 		ctx = obs.WithRecorder(ctx, rec)
 	}
 	if *debugAddr != "" {
@@ -114,16 +120,24 @@ func main() {
 	}
 
 	res, err := streak.RouteCtx(ctx, design, opt)
-	if rec != nil && *statsOut != "" {
-		// Write the report even on failure: the spans and counters up to
-		// the failing stage are exactly what a post-mortem needs.
+	if rec != nil && (*statsOut != "" || *traceOut != "") {
+		// Write the reports even on failure: the spans, counters and trace
+		// up to the failing stage are exactly what a post-mortem needs.
 		rep := rec.Report()
 		if res != nil {
 			rep.Congestion = obs.SnapshotCongestion(res.Usage, 16)
 		}
-		if werr := writeStats(*statsOut, rep); werr != nil {
-			fmt.Fprintln(os.Stderr, "streak:", werr)
-			os.Exit(1)
+		if *statsOut != "" {
+			if werr := writeStats(*statsOut, rep); werr != nil {
+				fmt.Fprintln(os.Stderr, "streak:", werr)
+				os.Exit(1)
+			}
+		}
+		if *traceOut != "" {
+			if werr := writeTrace(*traceOut, rep); werr != nil {
+				fmt.Fprintln(os.Stderr, "streak:", werr)
+				os.Exit(1)
+			}
 		}
 	}
 	if err != nil {
@@ -155,6 +169,9 @@ func main() {
 	}
 	if *statsOut != "" {
 		fmt.Printf("stats       %s\n", *statsOut)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace       %s (open in Perfetto or about://tracing)\n", *traceOut)
 	}
 	if *heatmap {
 		fmt.Println("\ncongestion map:")
@@ -190,6 +207,19 @@ func writeStats(path string, rep obs.Report) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the run's Chrome trace_event file.
+func writeTrace(path string, rep obs.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return err
 	}

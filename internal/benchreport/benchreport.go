@@ -1,0 +1,187 @@
+// Package benchreport is the perf-regression harness: it parses `go test
+// -bench` output into a schema-versioned JSON artifact (BENCH_<date>.json),
+// folds in domain quality metrics from an in-process routing run, and
+// compares two artifacts to flag regressions past a threshold. The artifact
+// format is additive-stable: SchemaVersion only bumps on an incompatible
+// change (see DESIGN.md "Tracing & convergence").
+package benchreport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion stamps every artifact. Adding fields is backward compatible
+// and keeps the version; renaming, removing or reinterpreting one bumps it.
+const SchemaVersion = 1
+
+// Benchmark is one measured row: a `go test -bench` benchmark or a
+// synthetic "domain/..." quality row. Metrics maps unit to value (ns/op,
+// B/op, allocs/op, plus custom units like route%).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the BENCH artifact layout.
+type File struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// GeneratedAt is an RFC 3339 timestamp (informational only; Compare
+	// ignores it).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Labels carries build identification (go version, VCS revision) from
+	// obs.BuildInfoLabels.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Benchmarks are the measured rows, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line: name, iteration count, then
+// value-unit pairs. The -<procs> suffix go test appends to names is kept —
+// artifacts are compared on like-for-like machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// ParseBenchOutput extracts benchmark rows from `go test -bench` output.
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are skipped; a line that
+// looks like a benchmark but fails to parse is an error, so format drift is
+// caught instead of silently dropping rows.
+func ParseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: bad iteration count in %q", sc.Text())
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchreport: odd value/unit fields in %q", sc.Text())
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchreport: bad value %q in %q", fields[i], sc.Text())
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchreport: %w", err)
+	}
+	return out, nil
+}
+
+// Delta is one metric compared across two artifacts. Ratio is new/old
+// (1 = unchanged); Regressed is set when the metric moved past the
+// threshold in its bad direction. Metrics with no known direction are
+// informational and never regress.
+type Delta struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Ratio  float64 `json:"ratio"`
+	// Direction is -1 when lower is better, +1 when higher is better, 0
+	// when the metric is informational.
+	Direction int  `json:"direction"`
+	Regressed bool `json:"regressed"`
+}
+
+// metricDirection classifies units: -1 lower-is-better, +1
+// higher-is-better, 0 informational.
+func metricDirection(unit string) int {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op", "wl", "overflow", "reg%", "vio":
+		return -1
+	case "route%":
+		return +1
+	default:
+		return 0
+	}
+}
+
+// Compare diffs every (benchmark, metric) present in both artifacts.
+// threshold is the fractional move tolerated in the bad direction (0.30 =
+// 30%); quality metrics near zero compare on absolute difference against
+// threshold itself, avoiding spurious ratios. Results are sorted by
+// (name, metric) so output and tests are deterministic.
+func Compare(old, new File, threshold float64) []Delta {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var out []Delta
+	for _, nb := range new.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		for unit, nv := range nb.Metrics {
+			ov, ok := ob.Metrics[unit]
+			if !ok {
+				continue
+			}
+			d := Delta{Name: nb.Name, Metric: unit, Old: ov, New: nv, Direction: metricDirection(unit)}
+			if ov != 0 {
+				d.Ratio = nv / ov
+			} else if nv == 0 {
+				d.Ratio = 1
+			}
+			switch {
+			case d.Direction == 0:
+			case ov == 0:
+				// No meaningful ratio; regress on absolute slip only.
+				d.Regressed = d.Direction == -1 && nv > threshold
+			case d.Direction == -1:
+				d.Regressed = nv > ov*(1+threshold)
+			case d.Direction == +1:
+				d.Regressed = nv < ov*(1-threshold)
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// Regressions filters a comparison down to the regressed deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteDeltas renders a comparison as an aligned text report.
+func WriteDeltas(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		mark := " "
+		if d.Regressed {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s %-60s %-10s %14.4g -> %-14.4g (x%.3f)\n",
+			mark, d.Name, d.Metric, d.Old, d.New, d.Ratio)
+	}
+}

@@ -1,0 +1,33 @@
+package benchreport
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/benchgen"
+	"repro/internal/core"
+)
+
+// DomainMetrics runs the primal-dual flow in-process on one scaled Industry
+// benchmark and returns its quality numbers as a synthetic "domain/..." row,
+// so BENCH artifacts track routing quality (routed fraction, wirelength,
+// regularity) next to the ns/op numbers — a perf win that costs routed
+// groups is a regression, not an improvement.
+func DomainMetrics(ctx context.Context, industry int, scale float64) (Benchmark, error) {
+	d := benchgen.Scale(benchgen.Industry(industry), scale).Generate()
+	res, err := core.RunCtx(ctx, d, core.Options{Method: core.PrimalDual})
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchreport: domain run: %w", err)
+	}
+	m := res.Metrics
+	return Benchmark{
+		Name: fmt.Sprintf("domain/Industry%d@%g", industry, scale),
+		Metrics: map[string]float64{
+			"route%":    m.RouteFrac * 100,
+			"wl":        m.WL,
+			"reg%":      m.AvgReg * 100,
+			"overflow":  float64(m.Overflow),
+			"runtime_s": res.Runtime.Seconds(),
+		},
+	}, nil
+}

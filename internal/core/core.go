@@ -161,11 +161,26 @@ func Run(d *signal.Design, opt Options) (*Result, error) {
 // loop, and the post-optimization cluster/refine loops — so the call
 // returns promptly with ctx's error.
 func RunCtx(ctx context.Context, d *signal.Design, opt Options) (*Result, error) {
+	ctx, end := rootSpan(ctx)
+	defer end()
 	p, err := route.BuildCtx(ctx, d, opt.Route)
 	if err != nil {
 		return nil, err
 	}
 	return RunProblemCtx(ctx, p, opt)
+}
+
+// rootSpan opens the flow's root "run" span so every stage span nests under
+// one top-level interval in traces. It is a no-op when no recorder is
+// attached or a span is already open on the context (RunCtx opens it once;
+// RunProblemCtx reuses it).
+func rootSpan(ctx context.Context) (context.Context, func()) {
+	rec := obs.FromContext(ctx)
+	if rec == nil || obs.SpanFromContext(ctx) != nil {
+		return ctx, func() {}
+	}
+	sp := rec.StartSpan("run")
+	return obs.WithSpan(ctx, sp), sp.End
 }
 
 // RunProblem executes the flow on a pre-built problem, letting callers
@@ -183,6 +198,8 @@ func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result,
 	if opt.Method < PrimalDual || opt.Method > Hierarchical {
 		return nil, fmt.Errorf("core: unknown method %d", opt.Method)
 	}
+	ctx, end := rootSpan(ctx)
+	defer end()
 	start := time.Now()
 	res := &Result{Problem: p}
 

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// collectorWithSeries records one fake run carrying a convergence series.
+func collectorWithSeries(t *testing.T) *obs.Collector {
+	t.Helper()
+	c := obs.NewCollector()
+	ctx, finish := c.Start(context.Background(), "Industry1", "pd")
+	rec := obs.FromContext(ctx)
+	samp := rec.Sampler("pd")
+	samp.Record(3e6, 0, 0)
+	samp.Record(1234.5, 10, 0)
+	rec.Sampler("hier").Record(99, 1, 0)
+	finish()
+	return c
+}
+
+func TestConvergenceTable(t *testing.T) {
+	var buf strings.Builder
+	ConvergenceTable(&buf, collectorWithSeries(t))
+	out := buf.String()
+	for _, want := range []string{"Industry1", "pd", "hier", "1234", "solver convergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConvergenceTableEmpty(t *testing.T) {
+	var buf strings.Builder
+	ConvergenceTable(&buf, nil)
+	ConvergenceTable(&buf, obs.NewCollector())
+	if buf.Len() != 0 {
+		t.Errorf("empty collector printed:\n%s", buf.String())
+	}
+}
+
+func TestConvergenceCSV(t *testing.T) {
+	var buf strings.Builder
+	ConvergenceCSV(&buf, collectorWithSeries(t))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "bench,flow,series,elapsed_us,objective,routed,bound" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 2 pd samples + 1 hier sample; series in sorted order (hier before pd).
+	if len(lines) != 4 {
+		t.Fatalf("got %d data rows, want 3:\n%s", len(lines)-1, buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "Industry1,pd,hier,") {
+		t.Errorf("first row = %q, want the hier series first", lines[1])
+	}
+	if !strings.Contains(lines[3], ",1234.5,10,") {
+		t.Errorf("last pd row = %q", lines[3])
+	}
+}

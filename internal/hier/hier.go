@@ -114,17 +114,30 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		return res, err
 	}
 
+	// Convergence series: one sample per tile commit plus one after the
+	// sweep. Tiles are few, so evaluating (3a) per commit is cheap relative
+	// to the tile ILPs it brackets; the disabled path never calls it.
+	rec := obs.FromContext(ctx)
+	samp := rec.Sampler("hier")
+	if rec != nil {
+		samp.Record(p.ObjectiveValue(a), 0, 0)
+	}
+
 	if opt.Workers >= 2 {
-		if err := solveTilesParallel(ctx, p, tiles, u, &a, opt, &res); err != nil {
+		if err := solveTilesParallel(ctx, p, tiles, u, &a, opt, &res, rec, samp); err != nil {
 			return finish(fmt.Errorf("hier: %w", err))
 		}
 	} else {
-		for _, objs := range tiles {
+		for ti, objs := range tiles {
 			if len(objs) == 0 {
 				continue
 			}
 			if err := ctx.Err(); err != nil {
 				return finish(fmt.Errorf("hier: %w", err))
+			}
+			var t0 time.Time
+			if rec != nil {
+				t0 = time.Now()
 			}
 			plan, timedOut := planTile(ctx, p, objs, u, a.Choice, opt)
 			commitPlan(p, plan, u, &a)
@@ -132,17 +145,42 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 			if timedOut {
 				res.TilesTimedOut++
 			}
+			if rec != nil {
+				rec.EmitAt("hier.tile", "hier", t0, time.Since(t0), obs.Args{
+					"tile": float64(ti), "objects": float64(len(objs)),
+					"planned": float64(len(plan)), "timed_out": b2f(timedOut),
+				})
+				samp.Record(p.ObjectiveValue(a), a.RoutedObjects(), 0)
+			}
 		}
 	}
 
 	// Final sweep: greedily route whatever remains (spanning objects,
 	// oversize tiles, tile-ILP leftovers) against residual capacity.
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	routed, err := greedySweep(ctx, p, u, &a)
 	res.GreedyRouted = routed
+	if rec != nil {
+		rec.EmitAt("hier.greedy", "hier", t0, time.Since(t0), obs.Args{
+			"routed": float64(routed),
+		})
+		samp.Record(p.ObjectiveValue(a), a.RoutedObjects(), 0)
+	}
 	if err != nil {
 		return finish(fmt.Errorf("hier: %w", err))
 	}
 	return finish(nil)
+}
+
+// b2f encodes a flag as a trace-event arg.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // partition buckets object indices by the tile containing their pin
@@ -177,7 +215,7 @@ type candSel struct{ i, j int }
 // double-booked an edge; the greedy sweep picks those objects up. Choices
 // are snapshotted before planning, keeping every tile's view identical
 // regardless of scheduling — the outcome is deterministic in tile order.
-func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u *grid.Usage, a *route.Assignment, opt Options, res *Result) error {
+func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u *grid.Usage, a *route.Assignment, opt Options, res *Result, rec *obs.Recorder, samp *obs.Sampler) error {
 	type outcome struct {
 		plan     []candSel
 		timedOut bool
@@ -199,8 +237,18 @@ func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u 
 			if ctx.Err() != nil {
 				return
 			}
+			var t0 time.Time
+			if rec != nil {
+				t0 = time.Now()
+			}
 			plan, timedOut := planTile(ctx, p, objs, u, choice, opt)
 			outs[ti] = outcome{plan: plan, timedOut: timedOut, ran: true}
+			if rec != nil {
+				rec.EmitAt("hier.tile", "hier", t0, time.Since(t0), obs.Args{
+					"tile": float64(ti), "objects": float64(len(objs)),
+					"planned": float64(len(plan)), "timed_out": b2f(timedOut),
+				})
+			}
 		}(ti, objs)
 	}
 	wg.Wait()
@@ -215,6 +263,9 @@ func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u 
 		res.TilesSolved++
 		if out.timedOut {
 			res.TilesTimedOut++
+		}
+		if rec != nil {
+			samp.Record(p.ObjectiveValue(*a), a.RoutedObjects(), 0)
 		}
 	}
 	return nil

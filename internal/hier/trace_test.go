@@ -1,0 +1,82 @@
+package hier
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSolveCtxConvergenceSeries checks the traced hierarchical flow: the
+// "hier" series carries the initial point, one sample per tile commit and a
+// final post-sweep sample; tile solves and the sweep leave trace events.
+func TestSolveCtxConvergenceSeries(t *testing.T) {
+	p := hierProblem(t, 1, 0.08)
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	res, err := SolveCtx(ctx, p, Options{Tiles: 2, TimePerTile: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	samples := rep.Series["hier"]
+	if len(samples) != res.TilesSolved+2 {
+		t.Fatalf("got %d samples, want initial + %d tiles + sweep", len(samples), res.TilesSolved)
+	}
+	if samples[0].Routed != 0 {
+		t.Errorf("initial sample = %+v", samples[0])
+	}
+	last := samples[len(samples)-1]
+	if last.Routed != int64(res.Assignment.RoutedObjects()) {
+		t.Errorf("final routed = %d, want %d", last.Routed, res.Assignment.RoutedObjects())
+	}
+	if last.Objective != res.Objective {
+		t.Errorf("final objective = %v, want %v", last.Objective, res.Objective)
+	}
+	var tiles, sweeps int
+	for _, e := range rep.Trace {
+		switch e.Name {
+		case "hier.tile":
+			tiles++
+		case "hier.greedy":
+			sweeps++
+			if e.Args["routed"] != float64(res.GreedyRouted) {
+				t.Errorf("sweep event = %+v, want routed %d", e, res.GreedyRouted)
+			}
+		}
+	}
+	if tiles != res.TilesSolved {
+		t.Errorf("got %d hier.tile events, want %d", tiles, res.TilesSolved)
+	}
+	if sweeps != 1 {
+		t.Errorf("got %d hier.greedy events", sweeps)
+	}
+}
+
+// TestSolveCtxParallelSeries runs the parallel tile schedule under a
+// recorder: per-commit samples still appear in deterministic tile order and
+// each planned tile leaves its event (emitted from the worker goroutines —
+// this doubles as a -race check on concurrent emits).
+func TestSolveCtxParallelSeries(t *testing.T) {
+	p := hierProblem(t, 1, 0.08)
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	res, err := SolveCtx(ctx, p, Options{Tiles: 2, TimePerTile: 3 * time.Second, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	if got := len(rep.Series["hier"]); got != res.TilesSolved+2 {
+		t.Errorf("got %d samples, want %d", got, res.TilesSolved+2)
+	}
+	tiles := 0
+	for _, e := range rep.Trace {
+		if e.Name == "hier.tile" {
+			tiles++
+		}
+	}
+	if tiles != res.TilesSolved {
+		t.Errorf("got %d hier.tile events, want %d", tiles, res.TilesSolved)
+	}
+}

@@ -1,0 +1,85 @@
+package ilp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// selectionModel builds a tiny pick-one-of-two model: min -2a - b with
+// a + b <= 1, both binary. Optimum a=1, obj -2.
+func selectionModel() *Model {
+	m := NewModel(2)
+	m.SetInteger(0)
+	m.SetInteger(1)
+	m.SetObj(0, -2)
+	m.SetObj(1, -1)
+	m.AddConstraint([]Term{{0, 1}, {1, 1}}, 1)
+	return m
+}
+
+// TestSolveConvergenceSeries checks the traced search: every incumbent
+// (warm start included) lands in the "ilp" series, improvements emit
+// ilp.incumbent events, and samples carry the root relaxation bound once
+// known.
+func TestSolveConvergenceSeries(t *testing.T) {
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	m := selectionModel()
+	// Warm start with the inferior feasible point b=1 (obj -1) so the search
+	// must improve at least once.
+	res := Solve(m, SolveOptions{Ctx: ctx, Incumbent: []float64{0, 1}})
+	if res.Status != Optimal || res.Obj != -2 {
+		t.Fatalf("res = %+v", res)
+	}
+	rep := rec.Report()
+	samples := rep.Series["ilp"]
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want warm start + improvement", len(samples))
+	}
+	if samples[0].Objective != -1 || samples[0].Routed != 1 {
+		t.Errorf("warm-start sample = %+v", samples[0])
+	}
+	last := samples[len(samples)-1]
+	if last.Objective != -2 {
+		t.Errorf("final incumbent sample = %+v", last)
+	}
+	if last.Bound == 0 || last.Bound < -2-1e-6 {
+		// The root LP relaxation of this model is exactly -2.
+		t.Errorf("bound = %v, want root relaxation near -2", last.Bound)
+	}
+	var warm, improved int
+	for _, e := range rep.Trace {
+		if e.Name != "ilp.incumbent" {
+			continue
+		}
+		if e.Args["warm_start"] == 1 {
+			warm++
+		} else {
+			improved++
+		}
+	}
+	if warm != 1 || improved < 1 {
+		t.Errorf("incumbent events: warm=%d improved=%d", warm, improved)
+	}
+}
+
+// TestSolveNoIncumbentNoSamples pins that an infeasible search contributes
+// no samples (objectives stay finite in serialized reports).
+func TestSolveNoIncumbentNoSamples(t *testing.T) {
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	m := NewModel(1)
+	m.SetInteger(0)
+	// x <= 1 and -x <= -2 is infeasible for a binary.
+	m.AddConstraint([]Term{{0, 1}}, 1)
+	m.AddConstraint([]Term{{0, -1}}, -2)
+	res := Solve(m, SolveOptions{Ctx: ctx})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if n := len(rec.Report().Series["ilp"]); n != 0 {
+		t.Errorf("infeasible search recorded %d samples", n)
+	}
+}

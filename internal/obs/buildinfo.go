@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     map[string]string
+)
+
+// BuildInfoLabels returns labels identifying the running binary: the Go
+// version and, when the binary was built inside a VCS checkout, the
+// revision, commit time and dirty flag. Telemetry surfaces stamp these on
+// every report so BENCH/stats artifacts stay attributable to a commit. The
+// lookup runs once per process.
+func BuildInfoLabels() map[string]string {
+	buildInfoOnce.Do(func() {
+		m := map[string]string{"go_version": runtime.Version()}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					m["vcs_revision"] = s.Value
+				case "vcs.time":
+					m["vcs_time"] = s.Value
+				case "vcs.modified":
+					if s.Value == "true" {
+						m["vcs_modified"] = "true"
+					}
+				}
+			}
+		}
+		buildInfo = m
+	})
+	return buildInfo
+}
+
+// AnnotateBuildInfo stamps the build-info labels on the recorder's report.
+func (r *Recorder) AnnotateBuildInfo() {
+	for k, v := range BuildInfoLabels() {
+		r.SetLabel(k, v)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in about://tracing and Perfetto. Complete events ("X") carry
+// microsecond timestamps/durations — exactly the units of SpanRecord and
+// Event, so the encoding is a field mapping, not a conversion.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the trace format (the bare-array form is
+// also legal, but the object form carries the display unit).
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace encodes the report's spans and trace events as Chrome
+// trace_event JSON. All entries share pid 1; tids are synthetic "lanes"
+// assigned so every lane is properly nested (Chrome and Perfetto render
+// same-tid complete events as a flame stack, which requires containment):
+// an entry joins the first lane where it either starts after everything
+// open has ended or fits entirely inside the innermost open interval;
+// overlapping entries from parallel workers spill into fresh lanes. The
+// layout is deterministic for a fixed report, so golden tests can pin the
+// byte encoding.
+func (rep Report) WriteChromeTrace(w io.Writer) error {
+	entries := make([]chromeEvent, 0, len(rep.Spans)+len(rep.Trace)+1)
+	for _, s := range rep.Spans {
+		args := map[string]any{}
+		if s.Workers > 0 {
+			args["workers"] = s.Workers
+		}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		entries = append(entries, chromeEvent{
+			Name: s.Name, Cat: "stage", Ph: "X",
+			TS: s.StartUS, Dur: s.DurUS, PID: 1, Args: args,
+		})
+	}
+	for _, e := range rep.Trace {
+		cat := e.Cat
+		if cat == "" {
+			cat = "event"
+		}
+		var args map[string]any
+		if len(e.Args) > 0 {
+			args = make(map[string]any, len(e.Args))
+			for k, v := range e.Args {
+				args[k] = v
+			}
+		}
+		entries = append(entries, chromeEvent{
+			Name: e.Name, Cat: cat, Ph: "X",
+			TS: e.Start, Dur: e.Dur, PID: 1, Args: args,
+		})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // longer first, so parents precede children
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Cat < b.Cat
+	})
+	assignLanes(entries)
+
+	file := chromeFile{
+		TraceEvents: append([]chromeEvent{{
+			Name: "process_name", Ph: "M", PID: 1,
+			Args: map[string]any{"name": "streak"},
+		}}, entries...),
+		DisplayTimeUnit: "ms",
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// assignLanes sets each entry's TID. Entries must be sorted by (ts, -dur).
+// Each lane keeps a stack of open interval end times (outermost first); an
+// entry joins a lane when the lane is idle at its start or the entry is
+// fully contained in the lane's innermost open interval.
+func assignLanes(entries []chromeEvent) {
+	var lanes [][]int64 // per-lane stack of open end times
+	for i := range entries {
+		ts, end := entries[i].TS, entries[i].TS+entries[i].Dur
+		placed := false
+		for li := range lanes {
+			stack := lanes[li]
+			for len(stack) > 0 && stack[len(stack)-1] <= ts {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 || end <= stack[len(stack)-1] {
+				lanes[li] = append(stack, end)
+				entries[i].TID = li
+				placed = true
+				break
+			}
+			lanes[li] = stack
+		}
+		if !placed {
+			lanes = append(lanes, []int64{end})
+			entries[i].TID = len(lanes) - 1
+		}
+	}
+}

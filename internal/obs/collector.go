@@ -35,6 +35,7 @@ func (c *Collector) Start(ctx context.Context, bench, flow string) (context.Cont
 	rec := NewRecorder()
 	rec.SetLabel("bench", bench)
 	rec.SetLabel("flow", flow)
+	rec.AnnotateBuildInfo()
 	return WithRecorder(ctx, rec), func() {
 		rep := rec.Report()
 		c.mu.Lock()

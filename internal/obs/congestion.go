@@ -64,6 +64,25 @@ func utilPct(use, cap int) int {
 	}
 }
 
+// UtilBucket maps a utilization percentage (as produced by utilPct or
+// grid.Usage.CellCongestion/10) to its histogram bucket: 0-9 are the 10%
+// steps, HistBuckets-2 is exactly full, HistBuckets-1 is overflowed. The
+// snapshot histograms and the SVG congestion tint share this bucketing.
+func UtilBucket(pct int) int {
+	switch {
+	case pct > 100:
+		return HistBuckets - 1
+	case pct == 100:
+		return HistBuckets - 2
+	default:
+		b := pct / 10
+		if b > HistBuckets-2 {
+			b = HistBuckets - 2
+		}
+		return b
+	}
+}
+
 // SnapshotCongestion summarizes the usage tracker: per-layer histograms and
 // the topK highest-utilization edges with non-zero use. A nil usage yields
 // a nil snapshot.
@@ -85,19 +104,10 @@ func SnapshotCongestion(u *grid.Usage, topK int) *CongestionSnapshot {
 				lc.Overflow += over
 				lc.OverflowEdges++
 			}
+			// utilPct only reports 100 when use == cap > 0, so UtilBucket's
+			// exactly-full bucket matches the "full and in use" case.
 			pct := utilPct(use, cap)
-			switch {
-			case pct > 100:
-				lc.Hist[HistBuckets-1]++
-			case pct == 100 && use > 0:
-				lc.Hist[HistBuckets-2]++
-			default:
-				b := pct / 10
-				if b > HistBuckets-2 {
-					b = HistBuckets - 2
-				}
-				lc.Hist[b]++
-			}
+			lc.Hist[UtilBucket(pct)]++
 			if topK > 0 && use > 0 {
 				x, y := g.EdgeCell(l, idx)
 				hot = append(hot, EdgeHotspot{Layer: l, X: x, Y: y, Use: use, Cap: cap, UtilPct: pct})

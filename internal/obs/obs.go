@@ -43,30 +43,45 @@ const (
 // is not used directly; call NewRecorder. All methods are safe for
 // concurrent use and safe on a nil receiver.
 type Recorder struct {
-	mu       sync.Mutex
-	start    time.Time
-	spans    []SpanRecord
-	active   map[*Span]struct{}
-	counters map[string]int64
-	labels   map[string]string
+	mu         sync.Mutex
+	start      time.Time
+	spans      []SpanRecord
+	active     map[*Span]struct{}
+	counters   map[string]int64
+	labels     map[string]string
+	samplers   map[string]*Sampler
+	samplerCap int
+
+	// The trace-event buffer has its own lock so hot-loop emitters do not
+	// contend with span/counter bookkeeping or live Report reads.
+	evMu      sync.Mutex
+	events    []Event
+	eventCap  int
+	evDropped int64
 }
 
 // NewRecorder returns an empty recorder whose span offsets are measured
 // from now.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		start:    time.Now(),
-		active:   make(map[*Span]struct{}),
-		counters: make(map[string]int64),
-		labels:   make(map[string]string),
+		start:      time.Now(),
+		active:     make(map[*Span]struct{}),
+		counters:   make(map[string]int64),
+		labels:     make(map[string]string),
+		eventCap:   DefaultEventCap,
+		samplerCap: DefaultSamplerCap,
 	}
 }
 
 // Span is one in-flight stage measurement; End finishes it. A nil *Span
-// (from a nil recorder) ignores every call.
+// (from a nil recorder) ignores every call. Spans nest: StartChild opens a
+// sub-span whose record carries the parent's name, and obs.Do threads the
+// current stage span through the context so nested stages parent
+// automatically.
 type Span struct {
 	r       *Recorder
 	name    string
+	parent  string
 	workers int
 	t0      time.Time
 }
@@ -76,6 +91,8 @@ type Span struct {
 type SpanRecord struct {
 	// Name is the canonical stage name.
 	Name string `json:"name"`
+	// Parent is the name of the enclosing span ("" at top level).
+	Parent string `json:"parent,omitempty"`
 	// StartUS is the span's start offset from the recorder's creation.
 	StartUS int64 `json:"start_us"`
 	// DurUS is the span's wall-clock duration.
@@ -92,12 +109,26 @@ type ActiveSpan struct {
 	Workers   int    `json:"workers,omitempty"`
 }
 
-// StartSpan opens a stage span. Always End it, normally via defer.
+// StartSpan opens a top-level stage span. Always End it, normally via
+// defer.
 func (r *Recorder) StartSpan(name string) *Span {
+	return r.startSpan(name, "")
+}
+
+// StartChild opens a span nested under s; its record carries s's name as
+// Parent, and trace encoders nest it under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(name, s.name)
+}
+
+func (r *Recorder) startSpan(name, parent string) *Span {
 	if r == nil {
 		return nil
 	}
-	s := &Span{r: r, name: name, t0: time.Now()}
+	s := &Span{r: r, name: name, parent: parent, t0: time.Now()}
 	r.mu.Lock()
 	r.active[s] = struct{}{}
 	r.mu.Unlock()
@@ -127,6 +158,7 @@ func (s *Span) End() {
 	delete(r.active, s)
 	r.spans = append(r.spans, SpanRecord{
 		Name:    s.name,
+		Parent:  s.parent,
 		StartUS: s.t0.Sub(r.start).Microseconds(),
 		DurUS:   now.Sub(s.t0).Microseconds(),
 		Workers: s.workers,
@@ -177,6 +209,14 @@ type Report struct {
 	Active []ActiveSpan `json:"active,omitempty"`
 	// Counters holds the named solver counters.
 	Counters map[string]int64 `json:"counters"`
+	// Trace lists the fine-grained trace events in emission order (see
+	// Event; encode with WriteChromeTrace for Chrome/Perfetto).
+	Trace []Event `json:"trace,omitempty"`
+	// EventsDropped counts trace events discarded by the buffer cap.
+	EventsDropped int64 `json:"events_dropped,omitempty"`
+	// Series holds the convergence time-series, one per solver ("pd",
+	// "ilp", "hier").
+	Series map[string][]Sample `json:"series,omitempty"`
 	// Congestion is the optional usage snapshot (attached by the caller).
 	Congestion *CongestionSnapshot `json:"congestion,omitempty"`
 }
@@ -209,7 +249,24 @@ func (r *Recorder) Report() Report {
 			rep.Labels[k] = v
 		}
 	}
+	var samplers map[string]*Sampler
+	if len(r.samplers) > 0 {
+		samplers = make(map[string]*Sampler, len(r.samplers))
+		for k, v := range r.samplers {
+			samplers[k] = v
+		}
+	}
 	r.mu.Unlock()
+	if samplers != nil {
+		rep.Series = make(map[string][]Sample, len(samplers))
+		for k, s := range samplers {
+			rep.Series[k] = s.Snapshot()
+		}
+	}
+	r.evMu.Lock()
+	rep.Trace = append([]Event(nil), r.events...)
+	rep.EventsDropped = r.evDropped
+	r.evMu.Unlock()
 	sort.Slice(rep.Active, func(i, j int) bool { return rep.Active[i].Name < rep.Active[j].Name })
 	return rep
 }
@@ -245,20 +302,44 @@ func FromContext(ctx context.Context) *Recorder {
 	return r
 }
 
+// spanKey keys the current span in a context.
+type spanKey struct{}
+
+// WithSpan attaches the span to the context so nested stages (and trace
+// encoders) can parent under it. Attaching nil returns ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the innermost span attached to ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
 // Do runs fn as a named pipeline stage: when ctx carries a recorder the
 // call is wrapped in a span and executed under the pprof label
 // stage=<name>, so CPU profiles attribute samples to the phase; without a
 // recorder it is a plain call. workers annotates the span (0 = sequential).
+// The stage span parents under the span already in ctx (if any) and is
+// itself attached to the context fn sees, so stages nest.
 func Do(ctx context.Context, name string, workers int, fn func(context.Context) error) error {
 	r := FromContext(ctx)
 	if r == nil {
 		return fn(ctx)
 	}
-	sp := r.StartSpan(name)
+	parent := ""
+	if ps := SpanFromContext(ctx); ps != nil {
+		parent = ps.name
+	}
+	sp := r.startSpan(name, parent)
 	sp.SetWorkers(workers)
 	defer sp.End()
 	var err error
-	pprof.Do(ctx, pprof.Labels("stage", name), func(ctx context.Context) {
+	pprof.Do(WithSpan(ctx, sp), pprof.Labels("stage", name), func(ctx context.Context) {
 		err = fn(ctx)
 	})
 	return err

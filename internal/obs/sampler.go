@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSamplerCap bounds each convergence series. When a series fills up
+// it is decimated (every second sample dropped, recording stride doubled),
+// so long solves keep a bounded, shape-preserving curve instead of either
+// unbounded growth or a truncated tail.
+const DefaultSamplerCap = 512
+
+// Sample is one convergence observation: where the solver stood at one
+// moment of its run. Objective is the formulation (3a) value driven down by
+// Algorithm 2 / the ILP; Routed counts committed objects (selected binaries
+// for the ILP); Bound carries the solver's dual/relaxation bound when it
+// has one (0 otherwise).
+type Sample struct {
+	// ElapsedUS is microseconds since the recorder's creation.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Objective is the incumbent objective at this moment.
+	Objective float64 `json:"objective"`
+	// Routed counts routed/committed objects at this moment.
+	Routed int64 `json:"routed"`
+	// Bound is the relaxation bound, when the solver exposes one.
+	Bound float64 `json:"bound,omitempty"`
+}
+
+// Sampler records one named convergence time-series with bounded memory.
+// Record offers are decimated: the sampler keeps every stride-th offer and,
+// when the buffer fills, halves it and doubles the stride. All methods are
+// safe for concurrent use and safe on a nil receiver.
+type Sampler struct {
+	mu      sync.Mutex
+	start   time.Time
+	cap     int
+	stride  int
+	pending int
+	samples []Sample
+}
+
+// Sampler returns the named convergence series, creating it on first use.
+// A nil recorder returns a nil sampler whose methods are all no-ops, so
+// solver loops can hold one unconditionally.
+func (r *Recorder) Sampler(name string) *Sampler {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.samplers[name]
+	if s == nil {
+		s = &Sampler{start: r.start, cap: r.samplerCap, stride: 1}
+		if s.cap < 2 {
+			s.cap = 2
+		}
+		if r.samplers == nil {
+			r.samplers = make(map[string]*Sampler)
+		}
+		r.samplers[name] = s
+	}
+	return s
+}
+
+// SetSamplerCap replaces the per-series cap (default DefaultSamplerCap) for
+// samplers created afterwards; existing series keep their cap. Caps below 2
+// are clamped to 2.
+func (r *Recorder) SetSamplerCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 2 {
+		n = 2
+	}
+	r.mu.Lock()
+	r.samplerCap = n
+	r.mu.Unlock()
+}
+
+// Record offers one observation. The first offer is always kept, so every
+// solver that runs at all contributes at least one sample.
+func (s *Sampler) Record(objective float64, routed int, bound float64) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending++
+	if s.pending < s.stride {
+		return
+	}
+	s.pending = 0
+	s.samples = append(s.samples, Sample{
+		ElapsedUS: now.Sub(s.start).Microseconds(),
+		Objective: objective,
+		Routed:    int64(routed),
+		Bound:     bound,
+	})
+	if len(s.samples) >= s.cap {
+		// Decimate in place: keep every second sample (the first always
+		// survives) and double the stride for future offers.
+		kept := s.samples[:0]
+		for i := 0; i < len(s.samples); i += 2 {
+			kept = append(kept, s.samples[i])
+		}
+		// Zero the tail so dropped samples don't linger in the backing array.
+		for i := len(kept); i < len(s.samples); i++ {
+			s.samples[i] = Sample{}
+		}
+		s.samples = kept
+		s.stride *= 2
+	}
+}
+
+// Snapshot returns a copy of the recorded samples in time order.
+func (s *Sampler) Snapshot() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// Len returns the number of samples currently held.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}

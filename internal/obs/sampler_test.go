@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+// TestSamplerFirstAlwaysKept pins the "≥1 sample per solver" guarantee: the
+// very first offer lands even with stride decimation active later.
+func TestSamplerFirstAlwaysKept(t *testing.T) {
+	r := NewRecorder()
+	s := r.Sampler("pd")
+	s.Record(100, 0, 0)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after first Record", s.Len())
+	}
+	snap := s.Snapshot()
+	if snap[0].Objective != 100 || snap[0].Routed != 0 {
+		t.Errorf("first sample = %+v", snap[0])
+	}
+}
+
+// TestSamplerDecimation feeds many offers through a small cap and checks the
+// invariants: the buffer never exceeds the cap, the first sample survives
+// every halving, samples stay in time order, and the kept set spans the full
+// input range rather than truncating the tail.
+func TestSamplerDecimation(t *testing.T) {
+	r := NewRecorder()
+	r.SetSamplerCap(8)
+	s := r.Sampler("ilp")
+	const offers = 1000
+	for i := 0; i < offers; i++ {
+		s.Record(float64(offers-i), i, float64(i)/2)
+		if s.Len() > 8 {
+			t.Fatalf("Len = %d exceeds cap after offer %d", s.Len(), i)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) == 0 || len(snap) > 8 {
+		t.Fatalf("kept %d samples", len(snap))
+	}
+	if snap[0].Objective != offers {
+		t.Errorf("first sample lost: %+v", snap[0])
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ElapsedUS < snap[i-1].ElapsedUS {
+			t.Errorf("samples out of time order at %d", i)
+		}
+		// Objective decreases monotonically in the input; kept samples must too.
+		if snap[i].Objective >= snap[i-1].Objective {
+			t.Errorf("objective not decreasing at %d: %v then %v", i, snap[i-1].Objective, snap[i].Objective)
+		}
+	}
+	// The tail of the curve must be represented: the last kept sample should
+	// come from the final quarter of the offers.
+	last := snap[len(snap)-1]
+	if last.Routed < offers*3/4 {
+		t.Errorf("tail truncated: last kept routed=%d of %d offers", last.Routed, offers)
+	}
+}
+
+// TestSamplerPerNameIsolation checks that distinct names get distinct series
+// and the same name returns the same series.
+func TestSamplerPerNameIsolation(t *testing.T) {
+	r := NewRecorder()
+	a := r.Sampler("pd")
+	b := r.Sampler("hier")
+	if a == b {
+		t.Fatal("distinct names shared a sampler")
+	}
+	if r.Sampler("pd") != a {
+		t.Fatal("same name returned a new sampler")
+	}
+	a.Record(1, 1, 0)
+	if b.Len() != 0 {
+		t.Error("series leaked across names")
+	}
+}
+
+// TestSamplerInReport checks the report carries every named series.
+func TestSamplerInReport(t *testing.T) {
+	r := NewRecorder()
+	r.Sampler("pd").Record(10, 1, 0)
+	r.Sampler("pd").Record(9, 2, 0)
+	r.Sampler("hier").Record(5, 1, 0)
+	rep := r.Report()
+	if len(rep.Series) != 2 {
+		t.Fatalf("series map = %+v", rep.Series)
+	}
+	if len(rep.Series["pd"]) != 2 || len(rep.Series["hier"]) != 1 {
+		t.Errorf("series lengths: pd=%d hier=%d", len(rep.Series["pd"]), len(rep.Series["hier"]))
+	}
+	if rep.Series["pd"][1].Routed != 2 {
+		t.Errorf("pd[1] = %+v", rep.Series["pd"][1])
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"time"
+)
+
+// DefaultEventCap bounds the recorder's trace-event buffer. Hot loops emit
+// one event per routing object / solver step, so a congested full-scale run
+// can offer far more events than anyone wants to keep; past the cap events
+// are counted (Report.EventsDropped) and discarded instead of growing the
+// buffer without bound.
+const DefaultEventCap = 16384
+
+// Args annotates a trace event with small numeric facts (object index,
+// candidate chosen, cost, ...). Values are float64 so integer indices and
+// objective values share one map; JSON encoding sorts the keys, keeping
+// serialized traces deterministic. The map is owned by the recorder after
+// Emit — do not mutate it afterwards.
+type Args map[string]float64
+
+// Event is one fine-grained trace event: a named interval (or instant, when
+// Dur is zero) inside a pipeline stage. Offsets are microseconds from the
+// recorder's creation, the same clock as SpanRecord, so events nest under
+// their stage spans by interval containment.
+type Event struct {
+	// Name identifies the event ("pd.commit", "hier.tile", ...).
+	Name string `json:"name"`
+	// Cat groups events for trace viewers ("build", "pd", "ilp", "hier").
+	Cat string `json:"cat,omitempty"`
+	// Start is the event's start offset from the recorder's creation, in
+	// microseconds.
+	Start int64 `json:"start_us"`
+	// Dur is the event's duration in microseconds (0 = instant).
+	Dur int64 `json:"dur_us"`
+	// Args carries small numeric annotations.
+	Args Args `json:"args,omitempty"`
+}
+
+// SetEventCap replaces the trace-event buffer cap (default DefaultEventCap).
+// Call it before emitting; a cap below 1 is clamped to 1. Events already
+// buffered are kept even if they exceed the new cap.
+func (r *Recorder) SetEventCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	r.evMu.Lock()
+	r.eventCap = n
+	r.evMu.Unlock()
+}
+
+// Emit appends a trace event to the bounded buffer. Past the cap the event
+// is dropped and counted — emitters never block and never allocate beyond
+// the cap. The event's Args map is owned by the recorder afterwards.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.evMu.Lock()
+	if len(r.events) >= r.eventCap {
+		r.evDropped++
+		r.evMu.Unlock()
+		return
+	}
+	r.events = append(r.events, e)
+	r.evMu.Unlock()
+}
+
+// EmitAt emits an event measured by the caller: t0 is its wall-clock start,
+// d its duration. The offset conversion uses the recorder's own epoch, so
+// EmitAt composes with spans started anywhere in the pipeline.
+func (r *Recorder) EmitAt(name, cat string, t0 time.Time, d time.Duration, args Args) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{
+		Name:  name,
+		Cat:   cat,
+		Start: t0.Sub(r.start).Microseconds(),
+		Dur:   d.Microseconds(),
+		Args:  args,
+	})
+}
+
+// EventsDropped returns how many events the cap discarded so far.
+func (r *Recorder) EventsDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	return r.evDropped
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEmitAndCap pins the bounded buffer: events append until the cap,
+// everything past it is dropped and counted, and the report carries both.
+func TestEmitAndCap(t *testing.T) {
+	r := NewRecorder()
+	r.SetEventCap(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Name: "e", Cat: "test", Start: int64(i), Dur: 1})
+	}
+	if got := r.EventsDropped(); got != 6 {
+		t.Errorf("EventsDropped = %d, want 6", got)
+	}
+	rep := r.Report()
+	if len(rep.Trace) != 4 {
+		t.Errorf("Trace len = %d, want 4", len(rep.Trace))
+	}
+	if rep.EventsDropped != 6 {
+		t.Errorf("report EventsDropped = %d, want 6", rep.EventsDropped)
+	}
+}
+
+// TestEmitAt pins the offset conversion: the event's start is measured from
+// the recorder's creation on the same clock as spans.
+func TestEmitAt(t *testing.T) {
+	r := NewRecorder()
+	t0 := time.Now()
+	r.EmitAt("pd.commit", "pd", t0, 3*time.Millisecond, Args{"object": 7})
+	rep := r.Report()
+	if len(rep.Trace) != 1 {
+		t.Fatalf("Trace len = %d", len(rep.Trace))
+	}
+	e := rep.Trace[0]
+	if e.Name != "pd.commit" || e.Cat != "pd" || e.Dur != 3000 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Start < 0 || e.Start > time.Since(r.start).Microseconds() {
+		t.Errorf("start offset %d out of range", e.Start)
+	}
+	if e.Args["object"] != 7 {
+		t.Errorf("args = %v", e.Args)
+	}
+}
+
+// TestNilTraceSafe extends the nil-safety table to the trace/sampler API.
+func TestNilTraceSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Name: "x"})
+	r.EmitAt("x", "c", time.Now(), time.Second, nil)
+	r.SetEventCap(1)
+	r.SetSamplerCap(1)
+	r.AnnotateBuildInfo()
+	if r.EventsDropped() != 0 {
+		t.Error("nil EventsDropped != 0")
+	}
+	s := r.Sampler("pd")
+	if s != nil {
+		t.Fatal("nil recorder returned a sampler")
+	}
+	s.Record(1, 1, 0)
+	if s.Snapshot() != nil || s.Len() != 0 {
+		t.Error("nil sampler not empty")
+	}
+	var sp *Span
+	if c := sp.StartChild("x"); c != nil {
+		t.Error("nil span spawned a child")
+	}
+}
+
+// TestStartChildParent pins span nesting: the child's record names its
+// parent, and obs.Do parents under the span already in the context.
+func TestStartChildParent(t *testing.T) {
+	r := NewRecorder()
+	root := r.StartSpan("run")
+	child := root.StartChild(StagePD)
+	child.End()
+	root.End()
+	rep := r.Report()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %+v", rep.Spans)
+	}
+	if rep.Spans[0].Name != StagePD || rep.Spans[0].Parent != "run" {
+		t.Errorf("child record = %+v", rep.Spans[0])
+	}
+	if rep.Spans[1].Parent != "" {
+		t.Errorf("root record = %+v", rep.Spans[1])
+	}
+}
+
+// TestDoNestsUnderContextSpan pins automatic stage nesting through Do.
+func TestDoNestsUnderContextSpan(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	root := r.StartSpan("run")
+	ctx = WithSpan(ctx, root)
+	var sawStage bool
+	err := Do(ctx, StageBuild, 0, func(ctx context.Context) error {
+		if SpanFromContext(ctx) == nil {
+			t.Error("stage span not attached to ctx")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	rep := r.Report()
+	for _, s := range rep.Spans {
+		if s.Name == StageBuild {
+			sawStage = true
+			if s.Parent != "run" {
+				t.Errorf("stage parent = %q, want run", s.Parent)
+			}
+		}
+	}
+	if !sawStage {
+		t.Errorf("no %s span recorded: %+v", StageBuild, rep.Spans)
+	}
+}
+
+// TestWriteChromeTraceGolden pins the byte encoding of a fixed report so
+// the trace format stays loadable and stable across refactors.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	rep := Report{
+		Spans: []SpanRecord{
+			{Name: "solve.pd", StartUS: 0, DurUS: 100, Workers: 2},
+			{Name: "audit", Parent: "run", StartUS: 150, DurUS: 20},
+		},
+		Trace: []Event{
+			{Name: "pd.commit", Cat: "pd", Start: 10, Dur: 5, Args: Args{"object": 1, "cand": 2}},
+			{Name: "pd.commit", Cat: "pd", Start: 12, Dur: 5, Args: Args{"object": 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":0,"args":{"name":"streak"}},` +
+		`{"name":"solve.pd","cat":"stage","ph":"X","ts":0,"dur":100,"pid":1,"tid":0,"args":{"workers":2}},` +
+		`{"name":"pd.commit","cat":"pd","ph":"X","ts":10,"dur":5,"pid":1,"tid":0,"args":{"cand":2,"object":1}},` +
+		`{"name":"pd.commit","cat":"pd","ph":"X","ts":12,"dur":5,"pid":1,"tid":1,"args":{"object":3}},` +
+		`{"name":"audit","cat":"stage","ph":"X","ts":150,"dur":20,"pid":1,"tid":0,"args":{"parent":"run"}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestWriteChromeTraceNesting checks the lane invariant on a busier
+// synthetic report: the output is valid JSON, every lane's complete events
+// are properly nested (no partial overlap on one tid), and events that fall
+// inside their stage span's interval land on the span's lane when nothing
+// overlaps.
+func TestWriteChromeTraceNesting(t *testing.T) {
+	rep := Report{
+		Spans: []SpanRecord{{Name: "build.candidates", StartUS: 0, DurUS: 1000, Workers: 4}},
+	}
+	// Four workers emitting overlapping per-object events inside the stage.
+	for i := 0; i < 16; i++ {
+		rep.Trace = append(rep.Trace, Event{
+			Name: "build.expand", Cat: "build",
+			Start: int64(i * 50), Dur: 120, Args: Args{"object": float64(i)},
+		})
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	type iv struct{ ts, end int64 }
+	byLane := map[int][]iv{}
+	span := iv{}
+	for _, e := range file.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Name == "build.candidates" {
+			span = iv{e.TS, e.TS + e.Dur}
+		} else if e.TS < 0 || e.TS+e.Dur > 1000 {
+			t.Errorf("event %v escapes its stage", e)
+		}
+		byLane[e.TID] = append(byLane[e.TID], iv{e.TS, e.TS + e.Dur})
+	}
+	if span.end != 1000 {
+		t.Fatal("stage span missing from trace")
+	}
+	for tid, ivs := range byLane {
+		for i := 1; i < len(ivs); i++ {
+			a, b := ivs[i-1], ivs[i]
+			if b.ts < a.end && b.end > a.end {
+				t.Errorf("lane %d: partial overlap %v then %v", tid, a, b)
+			}
+		}
+	}
+}
+
+// TestConcurrentTrace hammers the event buffer and samplers from many
+// goroutines while the main goroutine takes live reports and encodes
+// traces (run under -race).
+func TestConcurrentTrace(t *testing.T) {
+	r := NewRecorder()
+	r.SetEventCap(256)
+	const workers, iters = 8, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samp := r.Sampler("pd")
+			sp := r.StartSpan(StagePD)
+			child := sp.StartChild("leg")
+			for i := 0; i < iters; i++ {
+				r.EmitAt("pd.commit", "pd", time.Now(), time.Microsecond, Args{"object": float64(i)})
+				samp.Record(float64(iters-i), i, 0)
+			}
+			child.End()
+			sp.End()
+		}(w)
+	}
+	// Live reader: takes reports and encodes traces while emitters run.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep := r.Report()
+			if err := rep.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	rep := r.Report()
+	if len(rep.Trace) != 256 {
+		t.Errorf("trace len = %d, want cap 256", len(rep.Trace))
+	}
+	if rep.EventsDropped != int64(workers*iters-256) {
+		t.Errorf("dropped = %d, want %d", rep.EventsDropped, workers*iters-256)
+	}
+	if len(rep.Series["pd"]) == 0 {
+		t.Error("no pd samples")
+	}
+}
+
+// TestReportTraceJSONRoundTrip extends the wire-format pin to trace events
+// and series.
+func TestReportTraceJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Name: "e", Cat: "c", Start: 1, Dur: 2, Args: Args{"k": 3}})
+	r.Sampler("pd").Record(42.5, 7, 40)
+	rep := r.Report()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Trace) != 1 || back.Trace[0].Name != "e" || back.Trace[0].Args["k"] != 3 {
+		t.Errorf("trace round-trip: %+v", back.Trace)
+	}
+	s := back.Series["pd"]
+	if len(s) != 1 || s[0].Objective != 42.5 || s[0].Routed != 7 || s[0].Bound != 40 {
+		t.Errorf("series round-trip: %+v", s)
+	}
+	if !strings.Contains(string(raw), `"events_dropped"`) == (rep.EventsDropped > 0) {
+		t.Logf("raw: %s", raw)
+	}
+}
+
+// TestBuildInfoLabels sanity-checks the build-info annotation: a go_version
+// label always exists (VCS settings depend on how the test binary was
+// built).
+func TestBuildInfoLabels(t *testing.T) {
+	r := NewRecorder()
+	r.AnnotateBuildInfo()
+	rep := r.Report()
+	if rep.Labels["go_version"] == "" {
+		t.Errorf("go_version label missing: %+v", rep.Labels)
+	}
+}

@@ -1,0 +1,88 @@
+package pd
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+// TestSolveCtxConvergenceSeries checks the traced solve: the "pd" series
+// carries the initial all-unrouted point plus one sample per commit, the
+// incrementally tracked objective lands exactly on the full (3a) evaluation,
+// and each commit leaves a trace event naming the object and candidate.
+func TestSolveCtxConvergenceSeries(t *testing.T) {
+	p, err := route.Build(busDesign(3, 4, 8), route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	res, err := SolveCtx(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+
+	samples := rep.Series["pd"]
+	routed := res.Assignment.RoutedObjects()
+	if len(samples) != routed+1 {
+		t.Fatalf("got %d samples, want %d (initial + per commit)", len(samples), routed+1)
+	}
+	if samples[0].Objective != float64(len(p.Objects))*p.Opt.M || samples[0].Routed != 0 {
+		t.Errorf("initial sample = %+v", samples[0])
+	}
+	last := samples[len(samples)-1]
+	if last.Routed != int64(routed) {
+		t.Errorf("last sample routed = %d, want %d", last.Routed, routed)
+	}
+	// Incremental tracking must agree with the full evaluation to float
+	// accumulation noise.
+	if diff := math.Abs(last.Objective - res.Objective); diff > 1e-6*math.Max(1, math.Abs(res.Objective)) {
+		t.Errorf("incremental objective %v vs full %v (diff %v)", last.Objective, res.Objective, diff)
+	}
+	// The curve is non-increasing: every commit replaces an M with a cheaper
+	// candidate-plus-pair cost (pd never commits a candidate above M).
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Objective > samples[i-1].Objective {
+			t.Errorf("objective rose at sample %d: %v -> %v", i, samples[i-1].Objective, samples[i].Objective)
+		}
+	}
+
+	commits := 0
+	for _, e := range rep.Trace {
+		if e.Name == "pd.commit" {
+			commits++
+			if e.Cat != "pd" || e.Args["object"] < 0 || e.Args["cand"] < 0 {
+				t.Errorf("malformed commit event: %+v", e)
+			}
+		}
+	}
+	if commits != routed {
+		t.Errorf("got %d pd.commit events, want %d", commits, routed)
+	}
+}
+
+// TestSolveCtxNoRecorderNoSeries pins the disabled path: without a recorder
+// the solve produces the same result and no samples exist anywhere to leak.
+func TestSolveCtxNoRecorderNoSeries(t *testing.T) {
+	p, err := route.Build(busDesign(2, 3, 8), route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	traced, err := SolveCtx(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != traced.Objective || res.Iterations != traced.Iterations {
+		t.Errorf("tracing changed the solve: %+v vs %+v", res, traced)
+	}
+}

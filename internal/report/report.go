@@ -136,9 +136,28 @@ func congChar(perMille int) byte {
 }
 
 // CSV writes a simple CSV series (header plus rows) for the figure data.
+// Fields containing commas, quotes or newlines are quoted RFC 4180 style
+// (embedded quotes doubled), so bench names and labels survive round-trips
+// through spreadsheet tooling.
 func CSV(w io.Writer, header []string, rows [][]string) {
-	fmt.Fprintln(w, strings.Join(header, ","))
+	fmt.Fprintln(w, joinCSV(header))
 	for _, r := range rows {
-		fmt.Fprintln(w, strings.Join(r, ","))
+		fmt.Fprintln(w, joinCSV(r))
 	}
+}
+
+func joinCSV(fields []string) string {
+	quoted := make([]string, len(fields))
+	for i, f := range fields {
+		quoted[i] = csvField(f)
+	}
+	return strings.Join(quoted, ",")
+}
+
+// csvField quotes one CSV field when it needs it.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

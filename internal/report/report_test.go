@@ -94,3 +94,71 @@ func TestCongChar(t *testing.T) {
 		}
 	}
 }
+
+// TestCongCharBoundaries pins the exact per-mille thresholds of the heatmap
+// glyph ramp, including both sides of every boundary.
+func TestCongCharBoundaries(t *testing.T) {
+	cases := []struct {
+		perMille int
+		want     byte
+	}{
+		{0, ' '}, {199, ' '},
+		{200, '.'}, {499, '.'},
+		{500, ':'}, {799, ':'},
+		{800, '+'}, {999, '+'},
+		{1000, '#'},
+		{1001, '@'}, {5000, '@'},
+	}
+	for _, c := range cases {
+		if got := congChar(c.perMille); got != c.want {
+			t.Errorf("congChar(%d) = %q, want %q", c.perMille, got, c.want)
+		}
+	}
+}
+
+// TestCSVQuoting pins RFC 4180 escaping: commas, quotes and newlines force
+// quoting; embedded quotes double; plain fields stay unquoted.
+func TestCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"name", "note"}, [][]string{
+		{"plain", "no quoting needed"},
+		{"with,comma", `say "hi"`},
+		{"multi\nline", "cr\rfield"},
+	})
+	want := "name,note\n" +
+		"plain,no quoting needed\n" +
+		`"with,comma","say ""hi"""` + "\n" +
+		"\"multi\nline\",\"cr\rfield\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV quoting:\ngot  %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestCSVFieldEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		"":           "",
+		"simple":     "simple",
+		"a,b":        `"a,b"`,
+		`"`:          `""""`,
+		"line\nfeed": "\"line\nfeed\"",
+	}
+	for in, want := range cases {
+		if got := csvField(in); got != want {
+			t.Errorf("csvField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestFormatRuntimeTimedOut covers the "> limit" rendering with sub-minute
+// and fractional limits — the value printed is the limit, not the elapsed.
+func TestFormatRuntimeTimedOut(t *testing.T) {
+	if got := FormatRuntime(90*time.Second, true, 60*time.Second); got != "> 60" {
+		t.Errorf("timed out = %q, want \"> 60\"", got)
+	}
+	if got := FormatRuntime(time.Second, true, 1500*time.Millisecond); got != "> 2" {
+		t.Errorf("fractional limit = %q, want \"> 2\" (rounded)", got)
+	}
+	if got := FormatRuntime(0, false, 0); got != "0.0" {
+		t.Errorf("zero runtime = %q, want \"0.0\"", got)
+	}
+}

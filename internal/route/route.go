@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -144,19 +145,36 @@ func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, err
 	}
 	workers := opt.WorkerCount()
 	p.Cands = make([][]topo.Candidate, len(p.Objects))
+	rec := obs.FromContext(ctx)
 	err := obs.Do(ctx, obs.StageBuild, workers, func(ctx context.Context) error {
 		return parallelFor(ctx, workers, len(p.Objects), func(i int) {
 			obj := &p.Objects[i]
 			g := &d.Groups[obj.GroupIdx]
+			if rec == nil {
+				ots := topo.ObjectTopologies(g, obj, opt.Topo)
+				cands := topo.Expand3D(p.Grid, ots, opt.Topo)
+				p.Cands[i] = trimDiverse(cands, opt.MaxCandidates)
+				return
+			}
+			// Traced build: time the 2-D topology generation and the 3-D
+			// expansion separately, one event pair per object.
+			t0 := time.Now()
 			ots := topo.ObjectTopologies(g, obj, opt.Topo)
+			t1 := time.Now()
+			rec.EmitAt("build.topo", "build", t0, t1.Sub(t0), obs.Args{
+				"object": float64(i), "topologies": float64(len(ots)),
+			})
 			cands := topo.Expand3D(p.Grid, ots, opt.Topo)
 			p.Cands[i] = trimDiverse(cands, opt.MaxCandidates)
+			rec.EmitAt("build.expand", "build", t1, time.Since(t1), obs.Args{
+				"object": float64(i), "candidates": float64(len(p.Cands[i])),
+			})
 		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}
-	if rec := obs.FromContext(ctx); rec != nil {
+	if rec != nil {
 		total := 0
 		for i := range p.Cands {
 			total += len(p.Cands[i])

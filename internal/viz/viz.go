@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/signal"
 )
@@ -22,6 +24,11 @@ type Options struct {
 	// OnlyGroups restricts rendering to the listed group indices (nil =
 	// all groups).
 	OnlyGroups []int
+	// Usage, when non-nil, tints G-cells by track utilization behind the
+	// routed groups (the SVG analogue of the paper's congestion figures),
+	// using the same utilization bucketing as the telemetry congestion
+	// snapshots.
+	Usage *grid.Usage
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +42,24 @@ func (o Options) withDefaults() Options {
 var palette = []string{
 	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
 	"#e69f00", "#56b4e9", "#f0e442", "#999999",
+}
+
+// congPalette maps obs.UtilBucket indices to background tints: buckets 1-9
+// ramp light yellow to deep orange, HistBuckets-2 (exactly full) is red,
+// HistBuckets-1 (overflow) dark red. Bucket 0 (<10% utilization) draws no
+// tint at all, keeping uncongested regions white.
+var congPalette = [obs.HistBuckets]string{
+	1:  "#fffbe6",
+	2:  "#fff3bf",
+	3:  "#ffec99",
+	4:  "#ffe066",
+	5:  "#ffd43b",
+	6:  "#ffc078",
+	7:  "#ffa94d",
+	8:  "#ff922b",
+	9:  "#fd7e14",
+	10: "#fa5252", // exactly full
+	11: "#c92a2a", // overflow
 }
 
 // WriteSVG renders the routing of a design to w.
@@ -58,6 +83,29 @@ func WriteSVG(w io.Writer, d *signal.Design, r *route.Routing, opt Options) erro
 		return err
 	}
 	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+
+	// Congestion tint: one rect per G-cell whose peak-layer utilization
+	// leaves bucket 0, drawn before the grid lines and wires so routing
+	// stays legible on top. CellCongestion reports per-mille; /10 gives the
+	// percentage obs.UtilBucket expects.
+	if opt.Usage != nil {
+		fmt.Fprintln(w, `<g stroke="none">`)
+		for y, row := range opt.Usage.CellCongestion() {
+			for x, perMille := range row {
+				pct := perMille / 10
+				if perMille > 1000 && pct == 100 {
+					pct = 101 // keep barely-overflowed cells in the overflow bucket
+				}
+				b := obs.UtilBucket(pct)
+				if congPalette[b] == "" {
+					continue
+				}
+				fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+					x*px, y*px, px, px, congPalette[b])
+			}
+		}
+		fmt.Fprintln(w, `</g>`)
+	}
 
 	// Light G-cell grid.
 	fmt.Fprintf(w, `<g stroke="#eeeeee" stroke-width="0.5">`+"\n")

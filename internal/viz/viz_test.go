@@ -101,3 +101,57 @@ func TestWriteSVGCellSize(t *testing.T) {
 		t.Errorf("unexpected canvas size:\n%s", sb.String()[:120])
 	}
 }
+
+// TestWriteSVGCongestionTint checks the Usage option: tinted cell rects
+// appear behind the wires (before the grid group in document order), use
+// the congestion palette, and vanish when Usage is nil.
+func TestWriteSVGCongestionTint(t *testing.T) {
+	d, p, r := vizDesign()
+	u := r.UsageOf(p.Grid)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, r, Options{Usage: u}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	tinted := false
+	for _, c := range congPalette {
+		if c != "" && strings.Contains(out, c) {
+			tinted = true
+			break
+		}
+	}
+	if !tinted {
+		t.Error("no congestion tint rects in SVG despite routed usage")
+	}
+	// The tint group must precede the grid lines so wires stay on top.
+	tintAt := strings.Index(out, `<g stroke="none">`)
+	gridAt := strings.Index(out, `<g stroke="#eeeeee"`)
+	if tintAt < 0 || gridAt < 0 || tintAt > gridAt {
+		t.Errorf("tint group at %d, grid at %d; want tint first", tintAt, gridAt)
+	}
+
+	var plain strings.Builder
+	if err := WriteSVG(&plain, d, r, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range congPalette {
+		if c != "" && strings.Contains(plain.String(), c) {
+			t.Errorf("tint color %s present without Usage", c)
+		}
+	}
+}
+
+// TestWriteSVGOverflowTint drives one edge past capacity and checks the
+// overflow color shows up.
+func TestWriteSVGOverflowTint(t *testing.T) {
+	d, p, r := vizDesign()
+	u := r.UsageOf(p.Grid)
+	u.Add(0, 0, 1000) // force overflow on the first horizontal edge
+	var sb strings.Builder
+	if err := WriteSVG(&sb, d, r, Options{Usage: u}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), congPalette[len(congPalette)-1]) {
+		t.Error("overflowed cell not tinted with the overflow color")
+	}
+}

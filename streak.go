@@ -173,9 +173,13 @@ func WriteHeatmap(w io.Writer, res *Result, maxDim int) {
 }
 
 // WriteSVG renders the result's routed geometry as an SVG image: one
-// color per group, drivers as squares, sinks as dots.
+// color per group, drivers as squares, sinks as dots, with G-cells tinted
+// by track utilization behind the wires.
 func WriteSVG(w io.Writer, res *Result) error {
-	return viz.WriteSVG(w, res.Problem.Design, res.Routing, viz.Options{ShowUnrouted: true})
+	return viz.WriteSVG(w, res.Problem.Design, res.Routing, viz.Options{
+		ShowUnrouted: true,
+		Usage:        res.Usage,
+	})
 }
 
 // NewUsageOf re-derives a fresh usage tracker from a result's routing —
