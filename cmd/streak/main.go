@@ -7,6 +7,7 @@
 //	       [-fallback] [-timeout 0] [-audit off|warn|strict] [-workers 0]
 //	       [-nopost] [-heatmap] [-out routed.json]
 //	       [-stats report.json] [-trace trace.json] [-debug-addr :6060]
+//	       [-faultinject SPEC]
 //	streak -industry 3 [-scale 0.2] ...
 //
 // With -stats the run writes a JSON telemetry report (per-stage spans,
@@ -17,46 +18,68 @@
 // (https://ui.perfetto.dev) or Chrome's about://tracing. With -debug-addr
 // the run serves /debug/vars, /debug/streak and /debug/pprof/ for live
 // inspection while the flow executes.
+//
+// -faultinject arms deterministic faults at the compiled-in chaos sites
+// (see internal/faultinject), e.g. "exact.solve=panic" to force the ILP
+// rung onto the fallback chain — the knob the chaos suite turns.
+//
+// The command exits nonzero whenever no usable routing was produced: a
+// failed run, an exhausted fallback chain (every failed rung is printed),
+// or a deadline that expired before any group routed.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/benchgen"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 
 	streak "repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected so tests can drive the whole
+// command in-process and assert on exit codes and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("streak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		designPath = flag.String("design", "", "design JSON file to route")
-		industry   = flag.Int("industry", 0, "generate Industry<n> benchmark (1..7) instead of loading a file")
-		scale      = flag.Float64("scale", 1.0, "scale factor for generated benchmarks (0,1]")
-		method     = flag.String("method", "pd", "selection solver: pd, ilp or hier")
-		ilpTime    = flag.Duration("ilptime", 60*time.Second, "ILP time limit")
-		timeout    = flag.Duration("timeout", 0, "overall deadline for the whole flow (0 = none)")
-		fallback   = flag.Bool("fallback", false, "degrade ilp -> hier -> pd on solver failure instead of aborting")
-		auditMode  = flag.String("audit", "off", "post-solve legality audit: off, warn or strict")
-		workers    = flag.Int("workers", 0, "parallel workers for problem build and hier tile solves (0 = GOMAXPROCS, 1 = sequential)")
-		noPost     = flag.Bool("nopost", false, "disable the post-optimization stage")
-		heatmap    = flag.Bool("heatmap", false, "print the congestion heatmap")
-		svgOut     = flag.String("svg", "", "write the routed design as SVG to this file")
-		statsOut   = flag.String("stats", "", "write the run's telemetry report (stage spans, solver counters, congestion, convergence series) as JSON to this file")
-		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in Perfetto or about://tracing)")
-		debugAddr  = flag.String("debug-addr", "", "serve the live debug endpoint (expvar, /debug/streak, net/http/pprof) on this address, e.g. :6060")
+		designPath = fs.String("design", "", "design JSON file to route")
+		industry   = fs.Int("industry", 0, "generate Industry<n> benchmark (1..7) instead of loading a file")
+		scale      = fs.Float64("scale", 1.0, "scale factor for generated benchmarks (0,1]")
+		method     = fs.String("method", "pd", "selection solver: pd, ilp or hier")
+		ilpTime    = fs.Duration("ilptime", 60*time.Second, "ILP time limit")
+		timeout    = fs.Duration("timeout", 0, "overall deadline for the whole flow (0 = none)")
+		fallback   = fs.Bool("fallback", false, "degrade ilp -> hier -> pd on solver failure instead of aborting")
+		auditMode  = fs.String("audit", "off", "post-solve legality audit: off, warn or strict")
+		workers    = fs.Int("workers", 0, "parallel workers for problem build and hier tile solves (0 = GOMAXPROCS, 1 = sequential)")
+		noPost     = fs.Bool("nopost", false, "disable the post-optimization stage")
+		heatmap    = fs.Bool("heatmap", false, "print the congestion heatmap")
+		svgOut     = fs.String("svg", "", "write the routed design as SVG to this file")
+		statsOut   = fs.String("stats", "", "write the run's telemetry report (stage spans, solver counters, congestion, convergence series) as JSON to this file")
+		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON file of the run (open in Perfetto or about://tracing)")
+		debugAddr  = fs.String("debug-addr", "", "serve the live debug endpoint (expvar, /debug/streak, net/http/pprof) on this address, e.g. :6060")
+		faultSpec  = fs.String("faultinject", "", "arm deterministic faults, e.g. 'exact.solve=panic;hier.tile=delay:2s' (chaos testing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	design, err := loadDesign(*designPath, *industry, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "streak:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "streak:", err)
+		return 1
 	}
 
 	opt := streak.DefaultOptions()
@@ -70,8 +93,8 @@ func main() {
 		opt.Method = streak.Hierarchical
 		opt.HierTimePerTile = *ilpTime / 4
 	default:
-		fmt.Fprintf(os.Stderr, "streak: unknown method %q (want pd, ilp or hier)\n", *method)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "streak: unknown method %q (want pd, ilp or hier)\n", *method)
+		return 2
 	}
 	opt.Route.Workers = *workers
 	opt.HierWorkers = *workers
@@ -88,11 +111,19 @@ func main() {
 	case "strict":
 		opt.Audit = streak.AuditStrict
 	default:
-		fmt.Fprintf(os.Stderr, "streak: unknown audit mode %q (want off, warn or strict)\n", *auditMode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "streak: unknown audit mode %q (want off, warn or strict)\n", *auditMode)
+		return 2
 	}
 
 	ctx := context.Background()
+	if *faultSpec != "" {
+		plan, err := faultinject.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "streak:", err)
+			return 2
+		}
+		ctx = faultinject.With(ctx, plan)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -112,11 +143,11 @@ func main() {
 	if *debugAddr != "" {
 		srv, bound, err := obs.ServeDebug(*debugAddr, rec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "streak:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "streak:", err)
+			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/streak\n", bound)
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/streak\n", bound)
 	}
 
 	res, err := streak.RouteCtx(ctx, design, opt)
@@ -129,73 +160,91 @@ func main() {
 		}
 		if *statsOut != "" {
 			if werr := writeStats(*statsOut, rep); werr != nil {
-				fmt.Fprintln(os.Stderr, "streak:", werr)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "streak:", werr)
+				return 1
 			}
 		}
 		if *traceOut != "" {
 			if werr := writeTrace(*traceOut, rep); werr != nil {
-				fmt.Fprintln(os.Stderr, "streak:", werr)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "streak:", werr)
+				return 1
 			}
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "streak:", err)
+		var ex *streak.ExhaustedError
+		if errors.As(err, &ex) {
+			// Chain exhaustion gets the full degradation history, one rung
+			// per line, so the operator sees every failure — not just the
+			// last — before the verdict.
+			for _, a := range ex.Attempts {
+				fmt.Fprintf(stderr, "streak: solver %s failed: %s\n", a.Solver, a.Err)
+			}
+			fmt.Fprintf(stderr, "streak: all %d solvers failed; no routing produced\n", len(ex.Attempts))
+			return 1
+		}
+		fmt.Fprintln(stderr, "streak:", err)
 		if res == nil {
-			os.Exit(1)
+			return 1
 		}
 		// Strict-audit failures still carry the result; report it below so
 		// the violations can be diagnosed, then exit nonzero.
 	}
+	if err == nil && res.TimedOut && res.Metrics.RoutedGroups == 0 {
+		// A deadline that expired before anything routed is a failure, not
+		// a report full of zeros with exit code 0.
+		fmt.Fprintln(stderr, "streak: deadline expired before any group routed; no usable result")
+		return 1
+	}
 
 	m := res.Metrics
-	fmt.Printf("design      %s (%d groups, %d nets, %d pins)\n", design.Name, m.Groups, m.Nets, m.Pins)
-	fmt.Printf("method      %s%s\n", opt.Method, solverNote(res))
-	fmt.Printf("route       %.2f%% (%d/%d groups)\n", m.RouteFrac*100, m.RoutedGroups, m.Groups)
-	fmt.Printf("wirelength  %.2fe5\n", m.WL/1e5)
-	fmt.Printf("avg(reg)    %.2f%%\n", m.AvgReg*100)
-	fmt.Printf("vio(dst)    %d (before refinement: %d)\n", m.VioDst, res.VioBefore)
-	fmt.Printf("overflow    %d (%d edges)\n", m.Overflow, m.OverflowEdges)
-	fmt.Printf("runtime     %.2fs%s\n", res.Runtime.Seconds(), timedOutNote(res.TimedOut))
+	fmt.Fprintf(stdout, "design      %s (%d groups, %d nets, %d pins)\n", design.Name, m.Groups, m.Nets, m.Pins)
+	fmt.Fprintf(stdout, "method      %s%s\n", opt.Method, solverNote(res))
+	fmt.Fprintf(stdout, "route       %.2f%% (%d/%d groups)\n", m.RouteFrac*100, m.RoutedGroups, m.Groups)
+	fmt.Fprintf(stdout, "wirelength  %.2fe5\n", m.WL/1e5)
+	fmt.Fprintf(stdout, "avg(reg)    %.2f%%\n", m.AvgReg*100)
+	fmt.Fprintf(stdout, "vio(dst)    %d (before refinement: %d)\n", m.VioDst, res.VioBefore)
+	fmt.Fprintf(stdout, "overflow    %d (%d edges)\n", m.Overflow, m.OverflowEdges)
+	fmt.Fprintf(stdout, "runtime     %.2fs%s\n", res.Runtime.Seconds(), timedOutNote(res.TimedOut))
 	for _, a := range res.Attempts {
-		fmt.Printf("fallback    %s failed: %s\n", a.Solver, a.Err)
+		fmt.Fprintf(stdout, "fallback    %s failed: %s\n", a.Solver, a.Err)
 	}
 	if res.Audit != nil {
-		fmt.Printf("audit       %s\n", res.Audit.Summary())
+		fmt.Fprintf(stdout, "audit       %s\n", res.Audit.Summary())
 		for _, v := range res.Audit.Violations {
-			fmt.Printf("  violation %s\n", v)
+			fmt.Fprintf(stdout, "  violation %s\n", v)
 		}
 	}
 	if *statsOut != "" {
-		fmt.Printf("stats       %s\n", *statsOut)
+		fmt.Fprintf(stdout, "stats       %s\n", *statsOut)
 	}
 	if *traceOut != "" {
-		fmt.Printf("trace       %s (open in Perfetto or about://tracing)\n", *traceOut)
+		fmt.Fprintf(stdout, "trace       %s (open in Perfetto or about://tracing)\n", *traceOut)
 	}
 	if *heatmap {
-		fmt.Println("\ncongestion map:")
-		streak.WriteHeatmap(os.Stdout, res, 64)
+		fmt.Fprintln(stdout, "\ncongestion map:")
+		streak.WriteHeatmap(stdout, res, 64)
 	}
 	if *svgOut != "" {
 		f, err := os.Create(*svgOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "streak:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "streak:", err)
+			return 1
 		}
 		if err := streak.WriteSVG(f, res); err != nil {
-			fmt.Fprintln(os.Stderr, "streak:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "streak:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "streak:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "streak:", err)
+			return 1
 		}
-		fmt.Printf("svg         %s\n", *svgOut)
+		fmt.Fprintf(stdout, "svg         %s\n", *svgOut)
 	}
 	if err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeStats writes the telemetry report as indented JSON.

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRoutesCleanly drives the whole command in-process on a small
+// generated benchmark.
+func TestRunRoutesCleanly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-industry", "1", "-scale", "0.04", "-audit", "warn"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"design", "route", "audit       legal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExhaustedChainExitsNonzero is the regression test for the silent-
+// failure bug: with every solver rung forced down by injected faults, the
+// command must exit nonzero and name each failed rung — not print a
+// partial or all-zero report with exit code 0.
+func TestExhaustedChainExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-industry", "1", "-scale", "0.04",
+		"-method", "ilp", "-fallback",
+		"-faultinject", "exact.solve=panic;hier.tile=panic;pd.solve=panic",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit code = 0 despite total solver failure\nstdout: %s", stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("failed run printed a report:\n%s", stdout.String())
+	}
+	errText := stderr.String()
+	for _, rung := range []string{"ILP", "Hierarchical-ILP", "Primal-Dual"} {
+		if !strings.Contains(errText, rung) {
+			t.Errorf("stderr does not name failed rung %q:\n%s", rung, errText)
+		}
+	}
+	if !strings.Contains(errText, "all 3 solvers failed") {
+		t.Errorf("stderr missing the exhaustion verdict:\n%s", errText)
+	}
+}
+
+// TestZeroReportGuard pins the second half of the bug: a deadline that
+// expires before anything routes must exit nonzero instead of reporting
+// 0.00% routed as success.
+func TestZeroReportGuard(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-industry", "1", "-scale", "0.04",
+		"-timeout", "80ms",
+		"-faultinject", "pd.solve=delay:60s",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit code = 0 for a zero-routed timeout\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "no usable result") &&
+		!strings.Contains(stderr.String(), "deadline") {
+		t.Errorf("stderr does not explain the timeout: %s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "route       0.00%") {
+		t.Errorf("zero report printed as success:\n%s", stdout.String())
+	}
+}
+
+// TestDegradedRunStillSucceeds: one injected rung failure with fallback on
+// is a degraded success — exit 0, degradation visible in the report.
+func TestDegradedRunStillSucceeds(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-industry", "1", "-scale", "0.04",
+		"-method", "ilp", "-fallback", "-audit", "strict",
+		"-faultinject", "exact.solve=panic",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "degraded to") {
+		t.Errorf("degradation not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "fallback    ILP failed") {
+		t.Errorf("failed rung not reported:\n%s", out)
+	}
+}
+
+// TestBadFlags covers the argument-validation exits.
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-industry", "1", "-method", "quantum"},
+		{"-industry", "1", "-audit", "maybe"},
+		{"-industry", "1", "-faultinject", "bogus.point=panic"},
+		{"-industry", "9"},
+		{"-design", "x.json", "-industry", "1"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code == 0 {
+				t.Errorf("run(%v) = 0, want nonzero", args)
+			}
+			if stderr.Len() == 0 {
+				t.Error("no diagnostic on stderr")
+			}
+		})
+	}
+}

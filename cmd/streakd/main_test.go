@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/server"
+)
+
+// startDaemon runs streakd with the args on an ephemeral port and returns
+// its base URL, the signal channel that triggers shutdown, the exit-code
+// channel and the captured output streams.
+func startDaemon(t *testing.T, extra ...string) (string, chan os.Signal, chan int, *syncBuffer, *syncBuffer) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var stdout, stderr syncBuffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { exit <- run(args, &stdout, &stderr, sigs, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sigs, exit, &stdout, &stderr
+	case code := <-exit:
+		t.Fatalf("streakd exited before listening: code %d\nstderr: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("streakd never became ready")
+	}
+	panic("unreachable")
+}
+
+// syncBuffer makes the output buffers safe against the daemon goroutine
+// writing while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSmoke is the end-to-end acceptance run: start the daemon, POST a
+// design, assert a 200 with a clean audit verdict, then SIGTERM and assert
+// a clean exit.
+func TestSmoke(t *testing.T) {
+	base, sigs, exit, _, _ := startDaemon(t)
+
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	var body bytes.Buffer
+	if err := d.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/route", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /route = %d\n%s", resp.StatusCode, raw)
+	}
+	var rr server.RouteResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+	if rr.AuditOK == nil || !*rr.AuditOK {
+		t.Errorf("audit not clean: %s", raw)
+	}
+	if rr.Metrics.RoutedGroups == 0 {
+		t.Error("nothing routed")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("streakd did not exit after SIGTERM")
+	}
+}
+
+// TestFaultInjectFlagArmsPlan boots with an armed panic fault and asserts
+// the request dies with 500 while the daemon survives to serve the next.
+func TestFaultInjectFlagArmsPlan(t *testing.T) {
+	base, sigs, exit, _, stderr := startDaemon(t, "-faultinject", "route.build=panic#1")
+
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	post := func() (*http.Response, string) {
+		t.Helper()
+		var body bytes.Buffer
+		if err := d.WriteJSON(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/route", "application/json", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(raw)
+	}
+
+	resp, raw := post()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted request = %d, want 500\n%s", resp.StatusCode, raw)
+	}
+	resp, raw = post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic = %d, want 200\n%s", resp.StatusCode, raw)
+	}
+
+	sigs <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Errorf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fault plan armed") {
+		t.Errorf("stderr does not announce the fault plan: %s", stderr.String())
+	}
+}
+
+// TestBadFlagsExitNonzero covers flag/spec validation paths.
+func TestBadFlagsExitNonzero(t *testing.T) {
+	cases := [][]string{
+		{"-method", "quantum"},
+		{"-audit", "maybe"},
+		{"-faultinject", "bogus.point=panic"},
+		{"-faultinject", "pd.solve=frobnicate"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(args, &stdout, &stderr, make(chan os.Signal), nil)
+			if code == 0 {
+				t.Errorf("run(%v) = 0, want nonzero", args)
+			}
+			if stderr.Len() == 0 {
+				t.Error("no diagnostic on stderr")
+			}
+		})
+	}
+}
+
+// TestDrainTimeoutCancelsStragglers pins the shutdown path under a stuck
+// solve: a fault-stalled request outlives -drain-timeout, the daemon
+// cancels it and exits nonzero to flag the dirty drain.
+func TestDrainTimeoutCancelsStragglers(t *testing.T) {
+	base, sigs, exit, stdout, _ := startDaemon(t,
+		"-faultinject", "pd.solve=delay:300s#1",
+		"-drain-timeout", "200ms",
+		"-solve-timeout", "600s",
+	)
+
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	var body bytes.Buffer
+	if err := d.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/route", "application/json", &body)
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+
+	// Wait for the request to occupy its slot before signaling.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h server.Health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Inflight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stalled request never showed up in /healthz")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code == 0 {
+			t.Error("exit code = 0, want nonzero after a dirty drain")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon hung on a straggler despite the drain timeout")
+	}
+	if status := <-reqDone; status == http.StatusOK {
+		t.Error("canceled straggler reported 200")
+	}
+	if !strings.Contains(stdout.String(), "draining") {
+		t.Errorf("stdout missing drain announcement: %s", stdout.String())
+	}
+}

@@ -190,14 +190,28 @@ func (s Spec) makeGroup(r *rand.Rand, gi, width int) signal.Group {
 				snk = geom.Pt(ox+b, oy+max(2, trunk/5))
 			}
 		}
+		// Clamping near the grid edge can collapse pins onto each other;
+		// bits must not carry duplicate pin locations (Design.Validate
+		// rejects them), so the sink is nudged off a coincident driver and
+		// coincident extra sinks are dropped.
+		cdrv, csnk := s.clamp(drv), s.clamp(snk)
+		if csnk == cdrv {
+			csnk = s.nudge(csnk, cdrv)
+		}
 		bit := signal.Bit{
 			Name:   fmt.Sprintf("%s[%d]", g.Name, b),
 			Driver: 0,
-			Pins:   []signal.Pin{{Loc: s.clamp(drv)}, {Loc: s.clamp(snk)}},
+			Pins:   []signal.Pin{{Loc: cdrv}, {Loc: csnk}},
 		}
 		if b != shortIdx {
+			seen := map[geom.Point]bool{cdrv: true, csnk: true}
 			for _, off := range extraOff {
-				bit.Pins = append(bit.Pins, signal.Pin{Loc: s.clamp(drv.Add(off))})
+				loc := s.clamp(drv.Add(off))
+				if seen[loc] {
+					continue
+				}
+				seen[loc] = true
+				bit.Pins = append(bit.Pins, signal.Pin{Loc: loc})
 			}
 		}
 		g.Bits = append(g.Bits, bit)
@@ -225,6 +239,20 @@ func (s Spec) trunkMax() int {
 		m = 4
 	}
 	return m
+}
+
+// nudge moves p one cell to the first in-bounds neighbor distinct from
+// avoid, deterministically (right, left, up, down).
+func (s Spec) nudge(p, avoid geom.Point) geom.Point {
+	for _, q := range []geom.Point{
+		geom.Pt(p.X+1, p.Y), geom.Pt(p.X-1, p.Y),
+		geom.Pt(p.X, p.Y+1), geom.Pt(p.X, p.Y-1),
+	} {
+		if q.X >= 0 && q.X < s.W && q.Y >= 0 && q.Y < s.H && q != avoid {
+			return q
+		}
+	}
+	return p
 }
 
 func (s Spec) clamp(p geom.Point) geom.Point {

@@ -230,7 +230,9 @@ func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result,
 			if ri+1 < len(rungs) {
 				continue
 			}
-			return nil, err
+			// The chain is exhausted: surface every failed rung, not just
+			// the last, so callers can report the whole degradation history.
+			return nil, &ExhaustedError{Attempts: res.Attempts, cause: err}
 		}
 		res.Assignment = out.Assignment
 		res.TimedOut = out.TimedOut

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 
 	"repro/internal/exact"
 	"repro/internal/hier"
@@ -54,6 +55,29 @@ type Attempt struct {
 	// Err is the failure's text.
 	Err string
 }
+
+// ExhaustedError reports that every rung of the selection chain failed: no
+// solver — requested method or fallback — produced an assignment. Attempts
+// lists each rung's failure in order; Unwrap exposes the final rung's
+// error so errors.Is/As still reach the root cause.
+type ExhaustedError struct {
+	// Attempts records every failed rung, in chain order.
+	Attempts []Attempt
+	cause    error
+}
+
+// Error lists every failed rung so callers see the whole degradation
+// history, not just the last failure.
+func (e *ExhaustedError) Error() string {
+	parts := make([]string, len(e.Attempts))
+	for i, a := range e.Attempts {
+		parts[i] = a.Solver + ": " + a.Err
+	}
+	return fmt.Sprintf("core: all %d solver rungs failed: %s", len(e.Attempts), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the final rung's error.
+func (e *ExhaustedError) Unwrap() error { return e.cause }
 
 // PanicError is a solver panic converted into an error by the chain
 // runner, preserving the offending solver's name and stack.

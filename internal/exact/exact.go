@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/ilp"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -81,6 +82,9 @@ func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 // solveCtx is the span-free body of SolveCtx.
 func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error) {
 	start := time.Now()
+	if err := faultinject.Fire(ctx, faultinject.ExactSolve); err != nil {
+		return Result{}, fmt.Errorf("exact: %w", err)
+	}
 	maxVars := opt.MaxVars
 	if maxVars == 0 {
 		maxVars = 40000

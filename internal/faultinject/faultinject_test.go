@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoPlanIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if err := Fire(ctx, PDSolve); err != nil {
+		t.Fatalf("Fire with no plan = %v", err)
+	}
+	if Corrupt(ctx, PDCapacity) {
+		t.Fatal("Corrupt with no plan fired")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on bare context non-nil")
+	}
+}
+
+func TestUnarmedPointIsNoop(t *testing.T) {
+	p := NewPlan().Arm(ExactSolve, Action{Err: "boom"})
+	ctx := With(context.Background(), p)
+	if err := Fire(ctx, PDSolve); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if len(p.Log()) != 0 {
+		t.Fatalf("unarmed activation logged: %v", p.Log())
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	p := NewPlan().Arm(ExactSolve, Action{Err: "boom"})
+	ctx := With(context.Background(), p)
+	err := Fire(ctx, ExactSolve)
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *Error", err)
+	}
+	if fe.Point != ExactSolve || !strings.Contains(fe.Error(), "boom") {
+		t.Errorf("error = %v, want point+msg", fe)
+	}
+	if p.Fired(ExactSolve) != 1 {
+		t.Errorf("Fired = %d, want 1", p.Fired(ExactSolve))
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := NewPlan().Arm(PDSolve, Action{Panic: "kaboom"})
+	ctx := With(context.Background(), p)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "kaboom") {
+			t.Fatalf("recover = %v, want injected panic", r)
+		}
+	}()
+	_ = Fire(ctx, PDSolve)
+	t.Fatal("no panic")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	p := NewPlan().Arm(HierTile, Action{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(With(context.Background(), p))
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := Fire(ctx, HierTile); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("delay ignored cancellation, took %v", took)
+	}
+}
+
+func TestAfterAndTimesWindow(t *testing.T) {
+	p := NewPlan().Arm(PDCommit, Action{Err: "x", After: 2, Times: 2})
+	ctx := With(context.Background(), p)
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, Fire(ctx, PDCommit) != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("activation %d fired=%v, want %v (all: %v)", i+1, fired[i], want[i], fired)
+		}
+	}
+	log := p.Log()
+	if len(log) != 6 || log[2].Seq != 3 || !log[2].Fired || log[0].Fired {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	p := NewPlan().Arm(PDCapacity, Action{Corrupt: true, Times: 1})
+	ctx := With(context.Background(), p)
+	if !Corrupt(ctx, PDCapacity) {
+		t.Fatal("corrupt did not fire")
+	}
+	if Corrupt(ctx, PDCapacity) {
+		t.Fatal("corrupt fired past Times")
+	}
+	// A corrupt-only action never leaks out of Fire.
+	p2 := NewPlan().Arm(PDCapacity, Action{Corrupt: true})
+	ctx2 := With(context.Background(), p2)
+	if err := Fire(ctx2, PDCapacity); err != nil {
+		t.Fatalf("Fire on corrupt action = %v", err)
+	}
+}
+
+func TestConcurrentActivations(t *testing.T) {
+	p := NewPlan().Arm(Simplex, Action{Err: "e", Times: 10})
+	ctx := With(context.Background(), p)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if Fire(ctx, Simplex) != nil {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 || p.Fired(Simplex) != 10 {
+		t.Errorf("fired = %d (plan %d), want 10", fired, p.Fired(Simplex))
+	}
+	if len(p.Log()) != 50 {
+		t.Errorf("log entries = %d, want 50", len(p.Log()))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("exact.solve=panic; hier.tile=delay:50ms#2 ;pd.capacity=corrupt@1;ilp.simplex=error:lp down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), p)
+	if err := Fire(ctx, Simplex); err == nil || !strings.Contains(err.Error(), "lp down") {
+		t.Errorf("simplex error not armed: %v", err)
+	}
+	if Corrupt(ctx, PDCapacity) {
+		t.Error("pd.capacity fired before @1 skip")
+	}
+	if !Corrupt(ctx, PDCapacity) {
+		t.Error("pd.capacity did not fire on second hit")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("exact.solve panic not armed")
+			}
+		}()
+		_ = Fire(ctx, ExactSolve)
+	}()
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, spec := range []string{
+		"nosuch.point=panic",
+		"pd.solve",
+		"pd.solve=explode",
+		"pd.solve=delay:notaduration",
+		"pd.solve=delay",
+		"pd.solve=panic#0",
+		"pd.solve=panic@-1",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	if p, err := ParseSpec(""); err != nil || len(p.Log()) != 0 {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+}
+
+func TestPointsRegistryCoversConstants(t *testing.T) {
+	pts := Points()
+	for _, want := range []string{RouteBuild, PDSolve, PDCommit, PDCapacity, ExactSolve, Simplex, HierTile} {
+		found := false
+		for _, p := range pts {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Points() missing %s", want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/exact"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ilp"
@@ -135,6 +136,9 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 			if err := ctx.Err(); err != nil {
 				return finish(fmt.Errorf("hier: %w", err))
 			}
+			if err := faultinject.Fire(ctx, faultinject.HierTile); err != nil {
+				return finish(fmt.Errorf("hier: %w", err))
+			}
 			var t0 time.Time
 			if rec != nil {
 				t0 = time.Now()
@@ -228,6 +232,12 @@ func solveTilesParallel(ctx context.Context, p *route.Problem, tiles [][]int, u 
 	for ti, objs := range tiles {
 		if len(objs) == 0 {
 			continue
+		}
+		// Fault seam: fire on the coordinating goroutine before dispatch so
+		// an injected panic stays on the stack core.runRung can recover.
+		if err := faultinject.Fire(ctx, faultinject.HierTile); err != nil {
+			wg.Wait()
+			return err
 		}
 		wg.Add(1)
 		go func(ti int, objs []int) {

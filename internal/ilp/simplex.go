@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // lpStatus reports the outcome of an LP relaxation solve.
@@ -31,6 +33,12 @@ type lpResult struct {
 // time limit and cancellation hold even when a single relaxation is
 // expensive.
 func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64, deadline time.Time) lpResult {
+	// Fault seam: an injected error reports this relaxation infeasible (the
+	// node is pruned; at the root the whole solve turns infeasible), a delay
+	// stretches the relaxation past the branch-and-bound deadline.
+	if err := faultinject.Fire(ctx, faultinject.Simplex); err != nil {
+		return lpResult{status: lpInfeasible}
+	}
 	n := len(m.obj)
 	rows := len(cons)
 	if n == 0 {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -58,6 +59,9 @@ func SolveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 // solveCtx is the span-free body of SolveCtx (Algorithm 2).
 func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 	start := time.Now()
+	if err := faultinject.Fire(ctx, faultinject.PDSolve); err != nil {
+		return Result{}, fmt.Errorf("pd: %w", err)
+	}
 	n := len(p.Objects)
 	a := p.NewAssignment()
 	u := grid.NewUsage(p.Grid)
@@ -124,6 +128,14 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 				Iterations: iterations,
 			}, fmt.Errorf("pd: %w", err)
 		}
+		if err := faultinject.Fire(ctx, faultinject.PDCommit); err != nil {
+			return Result{
+				Assignment: a,
+				Objective:  p.ObjectiveValue(a),
+				Runtime:    time.Since(start),
+				Iterations: iterations,
+			}, fmt.Errorf("pd: %w", err)
+		}
 		// Line 6: among infeasible (uncommitted) objects pick the candidate
 		// minimizing c(i,j) + c'(i,j).
 		bestI, bestJ := -1, -1
@@ -178,9 +190,15 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 				"object": float64(bestI), "cand": float64(bestJ), "cost": bestCost,
 			})
 		}
+		// Fault seam: a corrupted commit skips the capacity bookkeeping, so
+		// later commits can over-subscribe the edges this candidate uses —
+		// the independent legality audit must catch the resulting overflow.
+		corrupted := faultinject.Corrupt(ctx, faultinject.PDCapacity)
 		touched := make(map[topo.EdgeKey]bool)
 		for k, need := range p.Cands[bestI][bestJ].Usage {
-			u.Add(k.Layer, k.Idx, need)
+			if !corrupted {
+				u.Add(k.Layer, k.Idx, need)
+			}
 			touched[k] = true
 		}
 

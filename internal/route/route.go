@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/ident"
@@ -128,6 +129,9 @@ func Build(d *signal.Design, opt Options) (*Problem, error) {
 func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
+	}
+	if err := faultinject.Fire(ctx, faultinject.RouteBuild); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
 	}
 	opt = opt.withDefaults()
 	p := &Problem{

@@ -38,6 +38,13 @@ func (b *Bit) Validate() error {
 	if b.Driver < 0 || b.Driver >= len(b.Pins) {
 		return fmt.Errorf("bit %q driver index %d out of range", b.Name, b.Driver)
 	}
+	seen := make(map[geom.Point]int, len(b.Pins))
+	for pi, p := range b.Pins {
+		if prev, dup := seen[p.Loc]; dup {
+			return fmt.Errorf("bit %q: pins %d and %d both at %v", b.Name, prev, pi, p.Loc)
+		}
+		seen[p.Loc] = pi
+	}
 	return nil
 }
 
@@ -143,13 +150,35 @@ type Design struct {
 	Groups []Group
 }
 
-// Validate reports the first structural problem with the design, or nil.
+// Validate reports the first structural problem with the design, or nil:
+// a usable grid (dimensions, positive layer count and edge capacity,
+// blockages on existing layers), at least one signal group, per-bit
+// structure (>= 2 pins, valid driver, no duplicate pin locations), and
+// every pin inside the grid bounds. Errors name the offending group and
+// bit so a caller can report exactly what to fix.
 func (d *Design) Validate() error {
 	if d.Grid.W < 2 || d.Grid.H < 2 {
 		return fmt.Errorf("design %q: grid %dx%d too small", d.Name, d.Grid.W, d.Grid.H)
 	}
 	if d.Grid.NumLayers < 2 {
 		return fmt.Errorf("design %q: need >= 2 layers", d.Name)
+	}
+	if d.Grid.EdgeCap < 1 {
+		return fmt.Errorf("design %q: edge capacity %d, need >= 1", d.Name, d.Grid.EdgeCap)
+	}
+	if d.Grid.Pitch < 0 {
+		return fmt.Errorf("design %q: negative pitch %d", d.Name, d.Grid.Pitch)
+	}
+	for i, b := range d.Grid.Blockages {
+		if b.Layer < 0 || b.Layer >= d.Grid.NumLayers {
+			return fmt.Errorf("design %q: blockage %d on layer %d, have %d layers", d.Name, i, b.Layer, d.Grid.NumLayers)
+		}
+		if b.Cap < 0 {
+			return fmt.Errorf("design %q: blockage %d has negative capacity %d", d.Name, i, b.Cap)
+		}
+	}
+	if len(d.Groups) == 0 {
+		return fmt.Errorf("design %q has no signal groups", d.Name)
 	}
 	for i := range d.Groups {
 		if err := d.Groups[i].Validate(); err != nil {

@@ -49,6 +49,13 @@ func TestValidateErrors(t *testing.T) {
 		{func(d *Design) { d.Groups[0].Bits[0].Pins = d.Groups[0].Bits[0].Pins[:1] }, "pins"},
 		{func(d *Design) { d.Groups[0].Bits[0].Driver = 5 }, "driver"},
 		{func(d *Design) { d.Groups[1].Bits[0].Pins[2].Loc = geom.Pt(99, 99) }, "off grid"},
+		{func(d *Design) { d.Grid.EdgeCap = 0 }, "edge capacity"},
+		{func(d *Design) { d.Grid.EdgeCap = -3 }, "edge capacity"},
+		{func(d *Design) { d.Grid.Pitch = -1 }, "pitch"},
+		{func(d *Design) { d.Grid.Blockages[0].Layer = 9 }, "blockage"},
+		{func(d *Design) { d.Grid.Blockages[0].Cap = -1 }, "blockage"},
+		{func(d *Design) { d.Groups = nil }, "no signal groups"},
+		{func(d *Design) { d.Groups[0].Bits[1].Pins[1].Loc = d.Groups[0].Bits[1].Pins[0].Loc }, "both at"},
 	}
 	for i, c := range cases {
 		d := sampleDesign()
@@ -56,6 +63,22 @@ func TestValidateErrors(t *testing.T) {
 		err := d.Validate()
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("case %d: err = %v, want contains %q", i, err, c.want)
+		}
+	}
+}
+
+// TestValidateNamesOffender pins that a duplicate-pin error names the
+// design, group, and bit so server/CLI callers can report what to fix.
+func TestValidateNamesOffender(t *testing.T) {
+	d := sampleDesign()
+	d.Groups[0].Bits[1].Pins[1].Loc = d.Groups[0].Bits[1].Pins[0].Loc
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("duplicate pin accepted")
+	}
+	for _, frag := range []string{`"sample"`, `"g0"`, `"b1"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("err %q does not name %s", err, frag)
 		}
 	}
 }

@@ -73,6 +73,9 @@ type (
 	AuditMode = core.AuditMode
 	// AuditReport is the structured legality report of a routing.
 	AuditReport = audit.Report
+	// ExhaustedError reports that every rung of the fallback chain failed;
+	// it carries the per-rung attempts for diagnosis.
+	ExhaustedError = core.ExhaustedError
 )
 
 // Solver methods.
