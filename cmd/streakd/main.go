@@ -8,6 +8,7 @@
 //	        [-solve-timeout 60s] [-drain-timeout 30s]
 //	        [-method pd|ilp|hier] [-audit off|warn|strict] [-fallback]
 //	        [-workers 0] [-ilptime 60s] [-faultinject SPEC]
+//	        [-jobs-dir DIR] [-job-retries 3] [-job-workers 2]
 //
 // The service is built for rough weather: concurrency is bounded by
 // -max-inflight, excess requests wait in a bounded queue and are shed with
@@ -16,8 +17,19 @@
 // and SIGTERM/SIGINT triggers a graceful drain (readiness flips first, in-
 // flight solves get -drain-timeout to finish, stragglers are canceled).
 //
+// Beyond the synchronous POST /route, the daemon runs a durable async
+// tier: POST /jobs returns a job ID immediately (an Idempotency-Key header
+// makes client retries safe), GET /jobs/{id} polls status + result, DELETE
+// cancels, and GET /jobs/{id}/events streams live solver progress. With
+// -jobs-dir set, every job state transition is journaled to a checksummed
+// fsync'd WAL in that directory and replayed at boot, so a crash or
+// restart recovers unfinished jobs — interrupted solves retry with
+// exponential backoff up to -job-retries attempts. Without -jobs-dir the
+// tier runs on an in-memory store (no durability).
+//
 // /healthz reports liveness with counters; /readyz reports admission
-// capacity for load-balancer rotation.
+// capacity for load-balancer rotation (not-ready until WAL replay
+// completes at boot).
 //
 // -faultinject arms deterministic faults at the compiled-in chaos sites
 // (see internal/faultinject; e.g. "pd.solve=delay:2s@3" stalls the third
@@ -39,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/jobs"
 	"repro/internal/server"
 
 	streak "repro"
@@ -70,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		workers      = fs.Int("workers", 0, "parallel workers for problem build and hier tile solves (0 = GOMAXPROCS)")
 		ilpTime      = fs.Duration("ilptime", 60*time.Second, "ILP time limit within the solve deadline")
 		faultSpec    = fs.String("faultinject", "", "arm deterministic faults, e.g. 'pd.solve=delay:2s@3;exact.solve=panic' (chaos testing)")
+		jobsDir      = fs.String("jobs-dir", "", "directory for the durable async-jobs WAL (empty = in-memory job store, no durability)")
+		jobRetries   = fs.Int("job-retries", 3, "execution attempts per async job before it fails")
+		jobWorkers   = fs.Int("job-workers", 2, "concurrent async job solves")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,6 +108,21 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		fmt.Fprintf(stderr, "streakd: fault plan armed: %s\n", *faultSpec)
 	}
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "streakd: "+format+"\n", a...)
+	}
+	var store jobs.Store = jobs.NewMemStore()
+	if *jobsDir != "" {
+		wal, err := jobs.OpenWAL(*jobsDir, logf)
+		if err != nil {
+			fmt.Fprintln(stderr, "streakd:", err)
+			return 1
+		}
+		defer wal.Close()
+		store = wal
+		fmt.Fprintf(stdout, "streakd: durable jobs WAL at %s (retries %d)\n", *jobsDir, *jobRetries)
+	}
+
 	s := server.New(server.Config{
 		MaxInflight:  *maxInflight,
 		QueueDepth:   *queue,
@@ -101,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		// The -audit flag is authoritative, including "off".
 		AuditConfigured: true,
 		BaseContext:     base,
+		JobStore:        store,
+		JobRetries:      *jobRetries,
+		JobWorkers:      *jobWorkers,
+		Logf:            logf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -149,6 +149,84 @@ func TestFaultInjectFlagArmsPlan(t *testing.T) {
 	}
 }
 
+// TestJobsDurableAcrossRestart: with -jobs-dir set, a completed async job
+// survives a clean daemon restart — the second instance replays the WAL
+// and serves the result without re-solving.
+func TestJobsDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, sigs, exit, stdout, _ := startDaemon(t, "-jobs-dir", dir)
+	if !strings.Contains(stdout.String(), "durable jobs WAL") {
+		t.Errorf("stdout does not announce the WAL: %s", stdout.String())
+	}
+
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+	var body bytes.Buffer
+	if err := d.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d\n%s", resp.StatusCode, raw)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+
+	getJob := func(base string) (int, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(base + "/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, m := getJob(base)
+		if string(m["state"]) == `"SUCCEEDED"` {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never succeeded: %s", m["state"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sigs <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Fatalf("first instance exit = %d, want 0", code)
+	}
+
+	// Same WAL directory, fresh process: the job's terminal state and
+	// result must come back from the journal.
+	base2, sigs2, exit2, _, _ := startDaemon(t, "-jobs-dir", dir)
+	code, m := getJob(base2)
+	if code != http.StatusOK || string(m["state"]) != `"SUCCEEDED"` {
+		t.Errorf("after restart: %d %s", code, m["state"])
+	}
+	if len(m["result"]) == 0 {
+		t.Error("restarted daemon lost the job result")
+	}
+	sigs2 <- syscall.SIGTERM
+	if code := <-exit2; code != 0 {
+		t.Errorf("second instance exit = %d, want 0", code)
+	}
+}
+
 // TestBadFlagsExitNonzero covers flag/spec validation paths.
 func TestBadFlagsExitNonzero(t *testing.T) {
 	cases := [][]string{

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/route"
+)
+
+// TestExhaustedErrorFormatting pins the error text: the message must carry
+// the rung count and every rung's name and failure, in chain order.
+func TestExhaustedErrorFormatting(t *testing.T) {
+	ex := &ExhaustedError{
+		Attempts: []Attempt{
+			{Solver: "ILP", Err: "model too large"},
+			{Solver: "Hierarchical", Err: "tile 3 infeasible"},
+			{Solver: "PrimalDual", Err: "context deadline exceeded"},
+		},
+		cause: context.DeadlineExceeded,
+	}
+	msg := ex.Error()
+	if !strings.HasPrefix(msg, "core: all 3 solver rungs failed: ") {
+		t.Errorf("message prefix wrong: %q", msg)
+	}
+	for _, part := range []string{
+		"ILP: model too large",
+		"Hierarchical: tile 3 infeasible",
+		"PrimalDual: context deadline exceeded",
+	} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("message %q missing %q", msg, part)
+		}
+	}
+	// Chain order is preserved in the text.
+	if strings.Index(msg, "ILP:") > strings.Index(msg, "Hierarchical:") {
+		t.Errorf("rungs out of order: %q", msg)
+	}
+}
+
+// TestExhaustedErrorUnwrapping: Unwrap exposes the final rung's error, so
+// errors.Is and errors.As reach the root cause through arbitrary extra
+// wrapping layers.
+func TestExhaustedErrorUnwrapping(t *testing.T) {
+	pe := &PanicError{Solver: "pd", Value: "boom", Stack: []byte("stack")}
+	ex := &ExhaustedError{
+		Attempts: []Attempt{{Solver: "pd", Err: pe.Error()}},
+		cause:    pe,
+	}
+	// Directly.
+	var gotPE *PanicError
+	if !errors.As(ex, &gotPE) || gotPE != pe {
+		t.Fatalf("errors.As did not surface the cause: %v", ex)
+	}
+	// Through additional fmt wrapping, as the server layer applies.
+	wrapped := fmt.Errorf("job attempt 2: %w", ex)
+	var gotEX *ExhaustedError
+	if !errors.As(wrapped, &gotEX) || gotEX != ex {
+		t.Error("errors.As lost *ExhaustedError through fmt wrapping")
+	}
+	if !errors.As(wrapped, &gotPE) {
+		t.Error("errors.As lost the root *PanicError through fmt wrapping")
+	}
+
+	// Sentinel causes survive the same way.
+	exDeadline := &ExhaustedError{
+		Attempts: []Attempt{{Solver: "pd", Err: "slow"}},
+		cause:    fmt.Errorf("pd: %w", context.DeadlineExceeded),
+	}
+	if !errors.Is(exDeadline, context.DeadlineExceeded) {
+		t.Error("errors.Is lost context.DeadlineExceeded through ExhaustedError")
+	}
+}
+
+// failSolver is an injected rung failing with a fixed error.
+type failSolver struct {
+	name string
+	err  error
+}
+
+func (s failSolver) Name() string { return s.name }
+func (s failSolver) Solve(ctx context.Context, p *route.Problem, opt Options) (SolveOutcome, error) {
+	return SolveOutcome{}, s.err
+}
+
+// TestExhaustedErrorThroughFallbackChain produces the error through the
+// real chain runner — not hand-construction — and asserts the whole
+// degradation history and the root cause both survive.
+func TestExhaustedErrorThroughFallbackChain(t *testing.T) {
+	p := testProblem(t)
+	rootCause := errors.New("capacity model infeasible")
+	_, err := RunProblem(p, Options{
+		Method: PrimalDual,
+		Fallback: Fallback{
+			Enabled: true,
+			Chain: []Solver{
+				panicSolver{},
+				failSolver{name: "flaky-stub", err: fmt.Errorf("rung 2: %w", rootCause)},
+			},
+		},
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	if len(ex.Attempts) != 2 || ex.Attempts[0].Solver != "panic-stub" || ex.Attempts[1].Solver != "flaky-stub" {
+		t.Errorf("Attempts = %+v", ex.Attempts)
+	}
+	// The cause is the LAST rung's error: the panic from rung 1 is in the
+	// history text, not the unwrap chain.
+	if !errors.Is(err, rootCause) {
+		t.Error("errors.Is lost the final rung's root cause")
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Error("first rung's panic leaked into the unwrap chain")
+	}
+	if !strings.Contains(err.Error(), "panic-stub") || !strings.Contains(err.Error(), "flaky-stub") {
+		t.Errorf("message does not list both rungs: %q", err)
+	}
+}

@@ -56,11 +56,29 @@ const (
 	// the coordinating goroutine in both the sequential and parallel tile
 	// schedules. Honors: panic, delay, error.
 	HierTile = "hier.tile"
+	// JobsStoreAppend fires before every durable job-store append
+	// (jobs.Store implementations); an injected error makes the append —
+	// and therefore the submit or state transition — fail. Honors: panic,
+	// delay, error.
+	JobsStoreAppend = "jobs.store.append"
+	// JobsStoreReplay fires during WAL replay at boot: once per Replay
+	// call for delay/error actions (a delay stalls recovery, which
+	// /readyz must report), and once per decoded record for Corrupt —
+	// a corrupt firing makes the replayer treat that record as torn,
+	// exercising the skip-and-log path without touching the file. Honors:
+	// panic, delay, error, corrupt.
+	JobsStoreReplay = "jobs.store.replay"
+	// JobsRun fires at the start of every async job execution attempt,
+	// before the solve is invoked; an injected error or panic fails the
+	// attempt and exercises the retry/backoff path. Honors: panic, delay,
+	// error.
+	JobsRun = "jobs.run"
 )
 
 // Points returns every compiled-in fault point, sorted.
 func Points() []string {
-	pts := []string{RouteBuild, PDSolve, PDCommit, PDCapacity, ExactSolve, Simplex, HierTile}
+	pts := []string{RouteBuild, PDSolve, PDCommit, PDCapacity, ExactSolve, Simplex, HierTile,
+		JobsStoreAppend, JobsStoreReplay, JobsRun}
 	sort.Strings(pts)
 	return pts
 }

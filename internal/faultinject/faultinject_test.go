@@ -186,7 +186,8 @@ func TestParseSpecRejects(t *testing.T) {
 
 func TestPointsRegistryCoversConstants(t *testing.T) {
 	pts := Points()
-	for _, want := range []string{RouteBuild, PDSolve, PDCommit, PDCapacity, ExactSolve, Simplex, HierTile} {
+	for _, want := range []string{RouteBuild, PDSolve, PDCommit, PDCapacity, ExactSolve, Simplex, HierTile,
+		JobsStoreAppend, JobsStoreReplay, JobsRun} {
 		found := false
 		for _, p := range pts {
 			if p == want {

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hammers the CLI fault-spec grammar. The invariants are the
+// flag-parsing contract streakd relies on:
+//
+//   - ParseSpec never panics, whatever the input;
+//   - on success the plan is non-nil and every armed point is a known one;
+//   - on failure the plan is nil (no half-armed plans escape);
+//   - a successful parse is stable: re-parsing the same spec succeeds.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"pd.solve=panic",
+		"pd.solve=panic:custom message",
+		"exact.solve=error:injected#3",
+		"hier.tile=delay:50ms@2#1",
+		"pd.capacity=corrupt@1",
+		"jobs.run=error#2;jobs.store.replay=corrupt",
+		"jobs.store.append=delay:10ms;route.build=panic",
+		"route.build=panic;;pd.commit=error",
+		" pd.solve = delay:1s ",
+		// Invalid shapes the parser must reject cleanly.
+		"bogus.point=panic",
+		"pd.solve=frobnicate",
+		"pd.solve",
+		"pd.solve=delay:notaduration",
+		"pd.solve=delay:-5s",
+		"pd.solve=panic@x",
+		"pd.solve=panic#0",
+		"pd.solve=panic#-1",
+		"=panic",
+		"pd.solve=",
+		"pd.solve=delay",
+		"pd.solve=panic@9999999999999999999999",
+		"jobs.store.replay=corrupt#\x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseSpec(spec)
+		if err != nil {
+			if plan != nil {
+				t.Fatalf("ParseSpec(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if plan == nil {
+			t.Fatalf("ParseSpec(%q) returned nil plan without error", spec)
+		}
+		known := make(map[string]bool)
+		for _, p := range Points() {
+			known[p] = true
+		}
+		plan.mu.Lock()
+		for point := range plan.armed {
+			if !known[point] {
+				t.Errorf("ParseSpec(%q) armed unknown point %q", spec, point)
+			}
+		}
+		plan.mu.Unlock()
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("ParseSpec(%q) not stable: re-parse failed: %v", spec, err)
+		}
+		// Entry count sanity: a successful parse arms at most one action
+		// per non-empty entry.
+		entries := 0
+		for _, ent := range strings.Split(spec, ";") {
+			if strings.TrimSpace(ent) != "" {
+				entries++
+			}
+		}
+		plan.mu.Lock()
+		armed := len(plan.armed)
+		plan.mu.Unlock()
+		if armed > entries {
+			t.Errorf("ParseSpec(%q) armed %d points from %d entries", spec, armed, entries)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestCrashRecoveryRetriesInterruptedJob is the kill-and-restart scenario
+// at the package level: a manager with a job RUNNING in its WAL is
+// abandoned without any shutdown (as a SIGKILL would), and a second
+// manager booted on the same directory must recover the job as
+// INTERRUPTED, re-run it and succeed with Attempts > 1.
+func TestCrashRecoveryRetriesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	w1, err := OpenWAL(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	m1 := New(Config{
+		Store:   w1,
+		Workers: 1,
+		Run: func(ctx context.Context, spec Spec, rec *obs.Recorder, attempt int) (json.RawMessage, error) {
+			close(started)
+			<-block // hangs forever: the "crash" leaves the job RUNNING
+			return nil, errors.New("unreachable")
+		},
+	})
+	m1.Start()
+	v, _, err := m1.Submit(ctx, Spec{Design: json.RawMessage(`{"name":"d"}`)}, "crash-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// No Drain, no Close: the process is "gone". Unblock the stuck runner
+	// at test end so its goroutine can exit.
+	t.Cleanup(func() { close(block) })
+
+	w2, err := OpenWAL(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newManager(t, w2, okRunner(`{"recovered":true}`))
+	got := waitState(t, m2, v.ID, Succeeded)
+	if got.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (interrupted attempt + recovery run)", got.Attempts)
+	}
+	if string(got.Result) != `{"recovered":true}` {
+		t.Errorf("result = %s", got.Result)
+	}
+	st := m2.StatsSnapshot()
+	if st.Counters["jobs.recovered"] != 1 || st.Counters["jobs.interrupted"] != 1 {
+		t.Errorf("recovery counters = %+v", st.Counters)
+	}
+	// The idempotency key recovered with the job: a client retrying its
+	// submit after the crash gets the same job back.
+	dup, existed, err := m2.Submit(ctx, Spec{Design: json.RawMessage(`{"name":"d"}`)}, "crash-key")
+	if err != nil || !existed || dup.ID != v.ID {
+		t.Errorf("post-recovery dedup: %+v existed=%v err=%v", dup, existed, err)
+	}
+}
+
+// TestCrashRecoveryExhaustedBudgetFails: a job that was already on its
+// last attempt when the daemon died must not loop forever — recovery
+// marks it FAILED.
+func TestCrashRecoveryExhaustedBudgetFails(t *testing.T) {
+	store := NewMemStore()
+	ctx := context.Background()
+	// Seed a journal: submitted, then crashed on attempt 2 of 2.
+	spec := Spec{Design: json.RawMessage(`{}`)}
+	for _, rec := range []Record{
+		{JobID: "j1", State: Pending, Time: time.Now(), Spec: &spec},
+		{JobID: "j1", State: Running, Time: time.Now(), Attempt: 2},
+	} {
+		if err := store.Append(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(Config{Store: store, Run: okRunner(`{}`), MaxAttempts: 2, Backoff: time.Millisecond})
+	m.Start()
+	got := waitState(t, m, "j1", Failed)
+	if got.Attempts != 2 || got.Error == "" {
+		t.Errorf("exhausted recovery = %+v", got)
+	}
+}
+
+// TestFaultJobsRunRetriesThenSucceeds drives the retry path with the
+// jobs.run fault point: the first two attempts fail with an injected
+// error, the third runs clean.
+func TestFaultJobsRunRetriesThenSucceeds(t *testing.T) {
+	plan, err := faultinject.ParseSpec("jobs.run=error:injected chaos#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{
+		Store:       NewMemStore(),
+		Run:         okRunner(`{}`),
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		BaseContext: faultinject.With(context.Background(), plan),
+	})
+	m.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+	})
+	v, _, err := m.Submit(context.Background(), Spec{Design: json.RawMessage(`{}`)}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, Succeeded)
+	if got.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", got.Attempts)
+	}
+	if fired := plan.Fired(faultinject.JobsRun); fired != 2 {
+		t.Errorf("jobs.run fired %d times, want 2", fired)
+	}
+}
+
+// TestFaultReplayCorruptDegradesToSkip: a corrupt record during boot
+// replay is skipped and counted — never a boot failure. The corrupted
+// record here is the submit itself, so its later transitions become
+// orphans and the job is simply absent after boot.
+func TestFaultReplayCorruptDegradesToSkip(t *testing.T) {
+	store := NewMemStore()
+	ctx := context.Background()
+	spec := Spec{Design: json.RawMessage(`{}`)}
+	for _, rec := range []Record{
+		{JobID: "gone", State: Pending, Time: time.Now(), Spec: &spec},
+		{JobID: "kept", State: Pending, Time: time.Now(), Spec: &spec},
+	} {
+		if err := store.Append(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Activation 1 is the Fire at the top of Replay; the first per-record
+	// Corrupt check is activation 2, so corrupt exactly the first record.
+	plan := faultinject.NewPlan().Arm(faultinject.JobsStoreReplay, faultinject.Action{Corrupt: true, After: 1, Times: 1})
+	m := newManagerWithBase(t, store, okRunner(`{}`), faultinject.With(ctx, plan))
+	if _, err := m.Get(ctx, "gone"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("corrupted submit survived replay: %v", err)
+	}
+	waitState(t, m, "kept", Succeeded)
+	st := m.StatsSnapshot()
+	if st.Counters["jobs.replay.skipped"] != 1 || st.Counters["jobs.replay.records"] != 1 {
+		t.Errorf("replay counters = %+v", st.Counters)
+	}
+}
+
+// TestFaultReplayErrorStillBoots: even a replay that aborts with an
+// injected error must leave the manager ready (availability over
+// durability at boot).
+func TestFaultReplayErrorStillBoots(t *testing.T) {
+	plan, err := faultinject.ParseSpec("jobs.store.replay=error:journal on fire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newManagerWithBase(t, NewMemStore(), okRunner(`{}`), faultinject.With(context.Background(), plan))
+	v, _, err := m.Submit(context.Background(), Spec{Design: json.RawMessage(`{}`)}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, Succeeded)
+}
+
+// TestFaultReplayDelayGatesReadiness: while replay stalls, Ready is
+// false and every manager method waits — the /readyz contract.
+func TestFaultReplayDelayGatesReadiness(t *testing.T) {
+	plan, err := faultinject.ParseSpec("jobs.store.replay=delay:150ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newManagerWithBase(t, NewMemStore(), okRunner(`{}`), faultinject.With(context.Background(), plan))
+	if m.Ready() {
+		t.Error("ready while replay is stalled")
+	}
+	// A short-deadline call gives up during the stall...
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := m.Get(sctx, "x"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Get during stalled replay = %v, want deadline exceeded", err)
+	}
+	// ...a patient one waits replay out.
+	if _, err := m.Get(context.Background(), "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after replay = %v, want ErrNotFound", err)
+	}
+	if !m.Ready() {
+		t.Error("not ready after replay finished")
+	}
+}
+
+// TestFaultAppendErrorFailsSubmit: when the submit record cannot be
+// persisted the job is refused — accepting it would lose it on restart.
+func TestFaultAppendErrorFailsSubmit(t *testing.T) {
+	plan, err := faultinject.ParseSpec("jobs.store.append=error:disk full#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newManagerWithBase(t, NewMemStore(), okRunner(`{}`), faultinject.With(context.Background(), plan))
+	ctx := context.Background()
+	if _, _, err := m.Submit(ctx, Spec{Design: json.RawMessage(`{}`)}, "k"); err == nil {
+		t.Fatal("submit succeeded over a failed append")
+	}
+	if c := m.StatsSnapshot().Counters["jobs.store.append.errors"]; c != 1 {
+		t.Errorf("jobs.store.append.errors = %d, want 1", c)
+	}
+	// The rollback released the idempotency key: the retry (fault
+	// exhausted by #1) succeeds with a fresh job.
+	v, existed, err := m.Submit(ctx, Spec{Design: json.RawMessage(`{}`)}, "k")
+	if err != nil || existed {
+		t.Fatalf("retry after append failure: existed=%v err=%v", existed, err)
+	}
+	waitState(t, m, v.ID, Succeeded)
+}
+
+// TestFaultAppendErrorMidRunDegrades: an append failure on a transition
+// record (not the submit) degrades durability, not availability — the
+// job still completes in memory.
+func TestFaultAppendErrorMidRunDegrades(t *testing.T) {
+	// Skip the submit append (activation 1), fail the RUNNING append
+	// (activation 2) only.
+	plan, err := faultinject.ParseSpec("jobs.store.append=error:disk blip@1#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	m := newManagerWithBase(t, store, okRunner(`{"ok":true}`), faultinject.With(context.Background(), plan))
+	v, _, err := m.Submit(context.Background(), Spec{Design: json.RawMessage(`{}`)}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, Succeeded)
+	if got.Attempts != 1 {
+		t.Errorf("append blip caused retries: %+v", got)
+	}
+	if c := m.StatsSnapshot().Counters["jobs.store.append.errors"]; c != 1 {
+		t.Errorf("jobs.store.append.errors = %d, want 1", c)
+	}
+	// Journal holds submit + SUCCEEDED; the RUNNING record was lost.
+	if store.Len() != 2 {
+		t.Errorf("journal has %d records, want 2", store.Len())
+	}
+}
+
+// newManagerWithBase is newManager with a caller-supplied base context
+// (the fault-plan seam).
+func newManagerWithBase(t *testing.T, store Store, run Runner, base context.Context) *Manager {
+	t.Helper()
+	m := New(Config{
+		Store:       store,
+		Run:         run,
+		Workers:     2,
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		BaseContext: base,
+		Logf:        t.Logf,
+	})
+	m.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+	})
+	return m
+}

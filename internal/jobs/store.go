@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Record is one persisted job state transition. The journal of records for
+// a job ID, replayed in order, reconstructs the job: the first record (the
+// submit) carries the spec, later ones only the state change. Records are
+// append-only — a job is never rewritten in place — so any store that can
+// append and replay a sequence can back the tier.
+type Record struct {
+	// JobID identifies the job the transition belongs to.
+	JobID string `json:"job"`
+	// State is the job's state after this transition.
+	State State `json:"state"`
+	// Time is when the transition happened.
+	Time time.Time `json:"time"`
+	// Attempt is the execution attempt the transition belongs to (0 on
+	// submit).
+	Attempt int `json:"attempt,omitempty"`
+	// IdemKey is the client's Idempotency-Key (submit records only).
+	IdemKey string `json:"idem_key,omitempty"`
+	// Spec is the job's payload (submit records only).
+	Spec *Spec `json:"spec,omitempty"`
+	// Result is the marshaled solve result (SUCCEEDED records only).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure text (FAILED, INTERRUPTED and retry records).
+	Error string `json:"error,omitempty"`
+}
+
+// Store persists job state transitions. Implementations must serialize
+// concurrent Appends; Replay is only called once, at boot, before the
+// manager starts executing.
+//
+// Both implementations honor the jobs.store.append and jobs.store.replay
+// fault points (see internal/faultinject), so chaos suites can fail
+// appends and corrupt replays against either backend.
+type Store interface {
+	// Append durably adds one record to the journal.
+	Append(ctx context.Context, rec Record) error
+	// Replay streams every persisted record, in append order, into fn. It
+	// returns how many records were skipped as unreadable (torn tail,
+	// checksum mismatch); unreadable records degrade to a logged skip,
+	// never a replay failure.
+	Replay(ctx context.Context, fn func(Record) error) (skipped int, err error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// MemStore is the in-memory Store: no durability, same semantics. It backs
+// tests and daemons running without a -jobs-dir.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append adds the record to the in-memory journal.
+func (s *MemStore) Append(ctx context.Context, rec Record) error {
+	if err := faultinject.Fire(ctx, faultinject.JobsStoreAppend); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+// Replay streams the journal into fn. Records an armed jobs.store.replay
+// corrupt action hits are skipped, mirroring the WAL's torn-record path.
+func (s *MemStore) Replay(ctx context.Context, fn func(Record) error) (int, error) {
+	if err := faultinject.Fire(ctx, faultinject.JobsStoreReplay); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	recs := append([]Record(nil), s.recs...)
+	s.mu.Unlock()
+	skipped := 0
+	for _, rec := range recs {
+		if faultinject.Corrupt(ctx, faultinject.JobsStoreReplay) {
+			skipped++
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
+// Close is a no-op.
+func (s *MemStore) Close() error { return nil }
+
+// Len reports how many records the store holds (test helper).
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}

@@ -197,6 +197,25 @@ func (r *Recorder) Counter(name string) int64 {
 	return r.counters[name]
 }
 
+// Counters returns a copy of every counter — cheaper than a full Report
+// when only the counter set is wanted (nil when none, including on a nil
+// recorder).
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
 // Report is the JSON-serializable telemetry of one run.
 type Report struct {
 	// Schema is SchemaVersion.

@@ -1,0 +1,243 @@
+package server
+
+// This file is the async job tier of streakd: POST /jobs submits a solve
+// that outlives the HTTP request, GET /jobs/{id} polls it, DELETE cancels
+// it and GET /jobs/{id}/events streams its progress. The jobs.Manager owns
+// durability, recovery and retries; this file adapts it to HTTP and
+// supplies the executor that runs the actual routing flow.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/signal"
+)
+
+// runJob executes one attempt of an async job: resolve options, re-parse
+// the persisted design, solve under the per-request deadline, and marshal
+// the same RouteResponse the synchronous path returns. Failure
+// classification follows the retry policy: invalid specs, exhausted
+// fallback chains and strict-audit violations are terminal; timeouts,
+// panics and injected chaos are retryable.
+func (s *Server) runJob(ctx context.Context, spec jobs.Spec, rec *obs.Recorder, attempt int) (json.RawMessage, error) {
+	start := time.Now()
+	opt, err := s.optionsFor(spec.Method, spec.Audit)
+	if err != nil {
+		return nil, jobs.Terminal(err)
+	}
+	d, err := signal.ReadJSON(bytes.NewReader(spec.Design))
+	if err != nil {
+		return nil, jobs.Terminal(err)
+	}
+	// A retried attempt always runs with the independent audit on: the
+	// result replacing lost work must carry a legality verdict.
+	if attempt > 1 && opt.Audit == core.AuditOff {
+		opt.Audit = core.AuditWarn
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.SolveTimeout)
+	defer cancel()
+	rec.SetLabel("bench", d.Name)
+	rec.SetLabel("method", opt.Method.String())
+	rec.SetLabel("job_attempt", fmt.Sprint(attempt))
+	ctx = obs.WithRecorder(ctx, rec)
+
+	res, err := core.RunCtx(ctx, d, opt)
+	if err != nil {
+		var ex *core.ExhaustedError
+		switch {
+		case res != nil && res.Audit != nil && !res.Audit.OK():
+			// The solve finished but the result is illegal; retrying the
+			// same design deterministically reproduces it.
+			return nil, jobs.Terminal(err)
+		case errors.As(err, &ex):
+			// Every rung failed — a retry would walk the same chain.
+			return nil, jobs.Terminal(err)
+		default:
+			return nil, err
+		}
+	}
+	if res.TimedOut && res.Metrics.RoutedGroups == 0 {
+		return nil, fmt.Errorf("solve deadline exceeded before any group routed (budget %s)", s.cfg.SolveTimeout)
+	}
+
+	resp := routeResponse(d.Name, res, start)
+	if spec.Stats {
+		rep := rec.Report()
+		if res.Usage != nil {
+			rep.Congestion = obs.SnapshotCongestion(res.Usage, 16)
+		}
+		resp.Stats = &rep
+	}
+	return json.Marshal(resp)
+}
+
+// handleJobSubmit is POST /jobs: decode+validate the design (a malformed
+// one is rejected with 400 before anything persists), then register the
+// job. An Idempotency-Key header makes client retries safe: a repeated key
+// returns the existing job with 200 instead of a new 202.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if _, err := s.optionsFor(q.Get("method"), q.Get("audit")); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	d, err := signal.ReadJSON(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// Persist the canonical re-marshaled form, not the client's bytes:
+	// replay then re-validates exactly what was validated here.
+	raw, err := json.Marshal(d)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	spec := jobs.Spec{
+		Design: raw,
+		Method: q.Get("method"),
+		Audit:  q.Get("audit"),
+		Stats:  q.Get("stats") == "1",
+	}
+	view, existed, err := s.jobs.Submit(r.Context(), spec, r.Header.Get("Idempotency-Key"))
+	switch {
+	case errors.Is(err, jobs.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// The submit record could not be persisted — accepting the job
+		// would silently lose it on restart.
+		s.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+view.ID)
+	status := http.StatusAccepted
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+// handleJobGet is GET /jobs/{id}: the job snapshot, including the solve
+// result once SUCCEEDED.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.jobs.Get(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, jobErrStatus(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobCancel is DELETE /jobs/{id}: queued jobs cancel immediately,
+// running ones once their attempt unwinds; terminal jobs are returned
+// unchanged.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.jobs.Cancel(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, jobErrStatus(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// jobErrStatus maps manager errors to HTTP statuses.
+func jobErrStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// JobProgress is one "progress" frame of GET /jobs/{id}/events: the live
+// telemetry of the in-flight attempt, fed from the obs recorder.
+type JobProgress struct {
+	// Counters is the attempt's live solver counter set.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Active lists the stages running right now.
+	Active []obs.ActiveSpan `json:"active,omitempty"`
+}
+
+// handleJobEvents is GET /jobs/{id}/events: a Server-Sent Events stream of
+// the job's lifecycle. "state" events carry job snapshots on every
+// transition, "progress" events carry the running attempt's live obs
+// counters and active stages, and a final "done" event carries the
+// terminal snapshot (result included) before the stream closes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: "streaming unsupported"})
+		return
+	}
+	id := r.PathValue("id")
+	// Subscribe before the first snapshot so no transition between the two
+	// is missed.
+	ch, stop, err := s.jobs.Watch(r.Context(), id)
+	if err != nil {
+		writeJSON(w, jobErrStatus(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer stop()
+	view, err := s.jobs.Get(r.Context(), id)
+	if err != nil {
+		writeJSON(w, jobErrStatus(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	sendView := func(v jobs.View) bool {
+		if v.State.Terminal() {
+			send("done", v)
+			return true
+		}
+		send("state", v)
+		return false
+	}
+	if sendView(view) {
+		return
+	}
+
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case v := <-ch:
+			if sendView(v) {
+				return
+			}
+		case <-tick.C:
+			if rep, ok := s.jobs.LiveReport(id); ok {
+				send("progress", JobProgress{Counters: rep.Counters, Active: rep.Active})
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

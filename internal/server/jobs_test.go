@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/jobs"
+)
+
+// submitJob POSTs a design to /jobs and decodes the accepted view.
+func submitJob(t *testing.T, ts *httptest.Server, path, idemKey string) (jobs.View, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+path, designBody(t, testDesign(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobs.View
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("decode submit response: %v\nbody: %s", err, raw)
+		}
+	}
+	return v, resp
+}
+
+// getJob fetches one job snapshot.
+func getJob(t *testing.T, ts *httptest.Server, id string) (jobs.View, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobs.View
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// awaitJob polls GET /jobs/{id} until the wanted state.
+func awaitJob(t *testing.T, ts *httptest.Server, id string, want jobs.State) jobs.View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v, code := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		if v.State == want {
+			return v
+		}
+		if v.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s settled in %s (want %s): %+v", id, v.State, want, v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobSubmitRunsToSuccess(t *testing.T) {
+	s := New(Config{JobStore: jobs.NewMemStore(), Logf: t.Logf})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, resp := submitJob(t, ts, "/jobs?stats=1", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+v.ID {
+		t.Errorf("Location = %q", loc)
+	}
+	if v.State != jobs.Pending || v.MaxAttempts != 3 {
+		t.Errorf("accepted view = %+v", v)
+	}
+
+	done := awaitJob(t, ts, v.ID, jobs.Succeeded)
+	if done.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", done.Attempts)
+	}
+	var rr RouteResponse
+	if err := json.Unmarshal(done.Result, &rr); err != nil {
+		t.Fatalf("result is not a RouteResponse: %v\n%s", err, done.Result)
+	}
+	if rr.Metrics.RoutedGroups == 0 || rr.AuditOK == nil || !*rr.AuditOK {
+		t.Errorf("job result incomplete: %+v", rr)
+	}
+	if rr.Stats == nil || len(rr.Stats.Spans) == 0 {
+		t.Error("stats=1 but result has no telemetry report")
+	}
+
+	// The async tier surfaces in /healthz.
+	h := s.Stats()
+	if h.Jobs == nil || h.Jobs.Counters["jobs.succeeded"] != 1 || h.Jobs.Jobs != 1 {
+		t.Errorf("health jobs block = %+v", h.Jobs)
+	}
+}
+
+func TestJobIdempotencyKey(t *testing.T) {
+	ts := httptest.NewServer(New(Config{JobStore: jobs.NewMemStore()}).Handler())
+	defer ts.Close()
+
+	v1, resp1 := submitJob(t, ts, "/jobs", "retry-safe-1")
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp1.StatusCode)
+	}
+	v2, resp2 := submitJob(t, ts, "/jobs", "retry-safe-1")
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("repeat submit = %d, want 200", resp2.StatusCode)
+	}
+	if v1.ID != v2.ID {
+		t.Errorf("idempotent retry created a new job: %s vs %s", v1.ID, v2.ID)
+	}
+	awaitJob(t, ts, v1.ID, jobs.Succeeded)
+}
+
+func TestJobSubmitValidation(t *testing.T) {
+	ts := httptest.NewServer(New(Config{JobStore: jobs.NewMemStore()}).Handler())
+	defer ts.Close()
+
+	// A bad option set is rejected before anything persists.
+	resp, err := http.Post(ts.URL+"/jobs?method=quantum", "application/json", designBody(t, testDesign(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad method = %d, want 400", resp.StatusCode)
+	}
+	// So is a malformed design.
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed design = %d, want 400", resp.StatusCode)
+	}
+	// Unknown job IDs are 404.
+	if _, code := getJob(t, ts, "doesnotexist"); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+}
+
+func TestJobCancelRunning(t *testing.T) {
+	// Stall the solve so the job is reliably RUNNING when DELETE lands.
+	plan := faultinject.NewPlan().
+		Arm(faultinject.PDSolve, faultinject.Action{Delay: 30 * time.Second, Times: 1})
+	ts := httptest.NewServer(New(Config{
+		JobStore:    jobs.NewMemStore(),
+		BaseContext: faultinject.With(context.Background(), plan),
+	}).Handler())
+	defer ts.Close()
+
+	v, _ := submitJob(t, ts, "/jobs", "")
+	awaitJob(t, ts, v.ID, jobs.Running)
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	done := awaitJob(t, ts, v.ID, jobs.Canceled)
+	if done.Attempts != 1 {
+		t.Errorf("canceled job retried: %+v", done)
+	}
+}
+
+// TestJobEventsStream reads the SSE feed end to end: it must deliver a
+// final "done" event carrying the SUCCEEDED snapshot with the result.
+func TestJobEventsStream(t *testing.T) {
+	ts := httptest.NewServer(New(Config{JobStore: jobs.NewMemStore()}).Handler())
+	defer ts.Close()
+
+	v, _ := submitJob(t, ts, "/jobs", "")
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var event string
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			events = append(events, event)
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			var final jobs.View
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+				t.Fatalf("done payload: %v", err)
+			}
+			if final.State != jobs.Succeeded || len(final.Result) == 0 {
+				t.Errorf("done view = %+v", final)
+			}
+			return
+		}
+	}
+	t.Fatalf("stream ended without a done event (saw %v, err %v)", events, sc.Err())
+}
+
+// TestReadyzGatedOnReplay is the boot contract: while WAL replay is still
+// running the instance must answer /readyz with 503 so load balancers keep
+// it out of rotation, then flip to 200 once the job table is recovered.
+func TestReadyzGatedOnReplay(t *testing.T) {
+	plan := faultinject.NewPlan().
+		Arm(faultinject.JobsStoreReplay, faultinject.Action{Delay: time.Second, Times: 1})
+	ts := httptest.NewServer(New(Config{
+		JobStore:    jobs.NewMemStore(),
+		BaseContext: faultinject.With(context.Background(), plan),
+	}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during replay = %d, want 503", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 200 after replay")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainLeavesQueuedJobPersisted: BeginDrain stops the jobs runner from
+// picking up new PENDING work; submits are refused while in-flight
+// attempts finish.
+func TestDrainLeavesQueuedJobPersisted(t *testing.T) {
+	plan := faultinject.NewPlan().
+		Arm(faultinject.PDSolve, faultinject.Action{Delay: 30 * time.Second, Times: 1})
+	s := New(Config{
+		JobStore:    jobs.NewMemStore(),
+		JobWorkers:  1,
+		BaseContext: faultinject.With(context.Background(), plan),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	running, _ := submitJob(t, ts, "/jobs", "")
+	awaitJob(t, ts, running.ID, jobs.Running)
+	queued, resp := submitJob(t, ts, "/jobs", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d", resp.StatusCode)
+	}
+
+	s.BeginDrain()
+	// The queued job must stay PENDING, untouched by the worker.
+	time.Sleep(50 * time.Millisecond)
+	if v, _ := getJob(t, ts, queued.ID); v.State != jobs.Pending || v.Attempts != 0 {
+		t.Errorf("drain picked up queued job: %+v", v)
+	}
+	// New submits are refused with 503.
+	if _, resp := submitJob(t, ts, "/jobs", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+
+	// A short drain budget hard-cancels the stalled attempt; it persists
+	// as INTERRUPTED for the next boot rather than FAILED.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Error("Drain reported clean despite a canceled straggler")
+	}
+	if v, _ := getJob(t, ts, running.ID); v.State != jobs.Interrupted {
+		t.Errorf("stalled job after drain = %+v, want INTERRUPTED", v)
+	}
+}
+
+// TestServerCrashRecoveryOverWAL is the acceptance scenario at the HTTP
+// layer: a daemon dies mid-solve (hard drain cancel, same persistence path
+// as a SIGKILL), and a second server booted on the same WAL directory
+// recovers the job, reruns it and succeeds — with Attempts > 1 and the
+// audit validating the retried result.
+func TestServerCrashRecoveryOverWAL(t *testing.T) {
+	dir := t.TempDir()
+	wal1, err := jobs.OpenWAL(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan().
+		Arm(faultinject.PDSolve, faultinject.Action{Delay: 30 * time.Second, Times: 1})
+	s1 := New(Config{
+		JobStore:    wal1,
+		BaseContext: faultinject.With(context.Background(), plan),
+		Logf:        t.Logf,
+	})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	v, _ := submitJob(t, ts1, "/jobs", "crash-idem")
+	awaitJob(t, ts1, v.ID, jobs.Running)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	_ = s1.Drain(ctx) // expires: the attempt is hard-canceled and persisted INTERRUPTED
+	cancel()
+	ts1.Close()
+	wal1.Close()
+
+	wal2, err := jobs.OpenWAL(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{JobStore: wal2, Logf: t.Logf})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer wal2.Close()
+
+	done := awaitJob(t, ts2, v.ID, jobs.Succeeded)
+	if done.Attempts < 2 {
+		t.Errorf("Attempts = %d, want > 1 (interrupted attempt + recovery)", done.Attempts)
+	}
+	var rr RouteResponse
+	if err := json.Unmarshal(done.Result, &rr); err != nil {
+		t.Fatalf("recovered result: %v\n%s", err, done.Result)
+	}
+	// The retried result carries the independent audit's verdict.
+	if rr.AuditOK == nil || !*rr.AuditOK {
+		t.Errorf("recovered result not audit-validated: %+v", rr)
+	}
+	// The idempotency key survived the restart too.
+	dup, resp := submitJob(t, ts2, "/jobs", "crash-idem")
+	if resp.StatusCode != http.StatusOK || dup.ID != v.ID {
+		t.Errorf("post-restart dedup: %d, %s (want 200, %s)", resp.StatusCode, dup.ID, v.ID)
+	}
+	if h := s2.Stats(); h.Jobs == nil || h.Jobs.Counters["jobs.recovered"] != 1 {
+		t.Errorf("recovery counters = %+v", h.Jobs)
+	}
+}
+
+func ExampleServer_jobs() {
+	s := New(Config{JobStore: jobs.NewMemStore()})
+	fmt.Println(s.Jobs() != nil)
+	// Output: true
+}

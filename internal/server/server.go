@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/signal"
@@ -67,6 +68,22 @@ type Config struct {
 	// from — the seam for fault-injection plans and telemetry recorders in
 	// tests and chaos runs. Default context.Background().
 	BaseContext context.Context
+	// JobStore, when non-nil, enables the durable async tier: POST /jobs,
+	// GET /jobs/{id}, DELETE /jobs/{id} and GET /jobs/{id}/events. Jobs
+	// persist through the store and recover on restart (see
+	// internal/jobs).
+	JobStore jobs.Store
+	// JobRetries bounds execution attempts per async job. Default 3.
+	JobRetries int
+	// JobWorkers bounds concurrent async job solves, independent of the
+	// synchronous tier's MaxInflight. Default 2.
+	JobWorkers int
+	// JobBackoff is the base retry backoff for failed job attempts
+	// (doubled per attempt, jittered). Default 2s.
+	JobBackoff time.Duration
+	// Logf receives job-tier diagnostics (WAL replay skips, append
+	// failures). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // withDefaults fills unset fields.
@@ -97,8 +114,9 @@ func (c Config) withDefaults() Config {
 
 // Server is the streakd request handler plus its admission state.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg  Config
+	mux  *http.ServeMux
+	jobs *jobs.Manager // nil when Config.JobStore is nil
 
 	sem      chan struct{} // solve slots; len == inflight
 	draining chan struct{} // closed by BeginDrain
@@ -127,8 +145,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /route", s.guard(s.handleRoute))
 	s.mux.HandleFunc("GET /healthz", s.guard(s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.guard(s.handleReadyz))
+	if cfg.JobStore != nil {
+		s.jobs = jobs.New(jobs.Config{
+			Store:       cfg.JobStore,
+			Run:         s.runJob,
+			Workers:     cfg.JobWorkers,
+			MaxAttempts: cfg.JobRetries,
+			Backoff:     cfg.JobBackoff,
+			BaseContext: cfg.BaseContext,
+			Logf:        cfg.Logf,
+		})
+		s.mux.HandleFunc("POST /jobs", s.guard(s.handleJobSubmit))
+		s.mux.HandleFunc("GET /jobs/{id}", s.guard(s.handleJobGet))
+		s.mux.HandleFunc("DELETE /jobs/{id}", s.guard(s.handleJobCancel))
+		s.mux.HandleFunc("GET /jobs/{id}/events", s.guard(s.handleJobEvents))
+		s.jobs.Start()
+	}
 	return s
 }
+
+// Jobs returns the async tier's manager (nil when the tier is disabled).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -238,8 +275,23 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	resp := routeResponse(d.Name, res, start)
+	if r.URL.Query().Get("stats") == "1" {
+		rep := rec.Report()
+		if res.Usage != nil {
+			rep.Congestion = obs.SnapshotCongestion(res.Usage, 16)
+		}
+		resp.Stats = &rep
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeResponse assembles the success body shared by the synchronous
+// /route path and the async job executor.
+func routeResponse(design string, res *core.Result, start time.Time) RouteResponse {
 	resp := RouteResponse{
-		Design:    d.Name,
+		Design:    design,
 		Solver:    res.SolverUsed,
 		Degraded:  res.Degraded,
 		TimedOut:  res.TimedOut,
@@ -254,15 +306,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			resp.Audit = res.Audit
 		}
 	}
-	if r.URL.Query().Get("stats") == "1" {
-		rep := rec.Report()
-		if res.Usage != nil {
-			rep.Congestion = obs.SnapshotCongestion(res.Usage, 16)
-		}
-		resp.Stats = &rep
-	}
-	s.served.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // respondError maps a failed run to a status code. Strict-audit failures
@@ -304,9 +348,16 @@ func (s *Server) respondError(w http.ResponseWriter, r *http.Request, res *core.
 // requestOptions derives the flow options for one request from the base
 // config plus ?method= and ?audit= overrides.
 func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
-	opt := s.cfg.Options
 	q := r.URL.Query()
-	switch m := q.Get("method"); m {
+	return s.optionsFor(q.Get("method"), q.Get("audit"))
+}
+
+// optionsFor resolves method/audit override strings ("" keeps the base
+// config) into flow options. Shared by the synchronous request path and
+// the async job executor.
+func (s *Server) optionsFor(method, auditMode string) (core.Options, error) {
+	opt := s.cfg.Options
+	switch m := method; m {
 	case "", "default":
 	case "pd":
 		opt.Method = core.PrimalDual
@@ -317,7 +368,7 @@ func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
 	default:
 		return opt, fmt.Errorf("unknown method %q (want pd, ilp or hier)", m)
 	}
-	switch a := q.Get("audit"); a {
+	switch a := auditMode; a {
 	case "", "default":
 	case "off":
 		opt.Audit = core.AuditOff
@@ -401,6 +452,8 @@ type Health struct {
 	Shed   int64 `json:"shed"`
 	Failed int64 `json:"failed"`
 	Panics int64 `json:"panics"`
+	// Jobs is the async tier's snapshot (absent when the tier is off).
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
 }
 
 // Stats returns the live health snapshot.
@@ -409,7 +462,7 @@ func (s *Server) Stats() Health {
 	if s.isDraining() {
 		status = "draining"
 	}
-	return Health{
+	h := Health{
 		Status:      status,
 		Inflight:    s.inflight.Load(),
 		Waiting:     s.waiting.Load(),
@@ -420,6 +473,11 @@ func (s *Server) Stats() Health {
 		Failed:      s.failed.Load(),
 		Panics:      s.panics.Load(),
 	}
+	if s.jobs != nil {
+		st := s.jobs.StatsSnapshot()
+		h.Jobs = &st
+	}
+	return h
 }
 
 // handleHealthz reports liveness: 200 as long as the process serves.
@@ -427,9 +485,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// handleReadyz reports admission capacity: 503 while draining or while the
-// wait queue is saturated, 200 otherwise — the signal a load balancer uses
-// to rotate an instance out before it starts shedding.
+// handleReadyz reports admission capacity: 503 while draining, while the
+// wait queue is saturated, or while the jobs tier is still replaying its
+// WAL at boot (the recovered job table is not yet authoritative), 200
+// otherwise — the signal a load balancer uses to rotate an instance out
+// before it starts shedding.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	switch {
@@ -437,37 +497,59 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, st)
 	case st.Waiting >= int64(s.cfg.QueueDepth):
 		writeJSON(w, http.StatusServiceUnavailable, st)
+	case s.jobs != nil && !s.jobs.Ready():
+		writeJSON(w, http.StatusServiceUnavailable, st)
 	default:
 		writeJSON(w, http.StatusOK, st)
 	}
 }
 
 // BeginDrain stops admitting new solves: queued requests are released with
-// 503, /readyz flips to 503, and in-flight solves keep running. Idempotent.
+// 503, /readyz flips to 503, in-flight solves keep running, and the jobs
+// runner stops picking up new PENDING work (in-flight job attempts finish;
+// everything still queued stays persisted for the next boot). Idempotent.
 func (s *Server) BeginDrain() {
 	if s.drained.CompareAndSwap(false, true) {
 		close(s.draining)
+		if s.jobs != nil {
+			s.jobs.BeginDrain()
+		}
 	}
 }
 
 // Drain performs the full graceful-shutdown sequence: stop admission, wait
-// for in-flight solves to finish, and — if ctx expires first — cancel the
-// stragglers and wait for them to unwind. It returns nil when the server
-// drained cleanly and ctx.Err() when stragglers had to be canceled.
+// for in-flight solves — synchronous requests and async job attempts alike
+// — to finish, and — if ctx expires first — cancel the stragglers and wait
+// for them to unwind. It returns nil when the server drained cleanly and
+// ctx.Err() when stragglers had to be canceled. Job attempts canceled this
+// way persist as INTERRUPTED and are retried on the next boot.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
-	if s.awaitIdle(ctx) == nil {
-		return nil
+	jobsDone := make(chan error, 1)
+	if s.jobs != nil {
+		go func() { jobsDone <- s.jobs.Drain(ctx) }()
+	} else {
+		jobsDone <- nil
 	}
-	// Grace expired: cancel every in-flight solve. The pipeline honors
-	// cancellation promptly, so bound the final wait instead of trusting it.
-	s.hardStop()
-	final, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := s.awaitIdle(final); err != nil {
-		return fmt.Errorf("drain: %d solves still running after hard cancel", s.inflight.Load())
+	reqErr := func() error {
+		if s.awaitIdle(ctx) == nil {
+			return nil
+		}
+		// Grace expired: cancel every in-flight solve. The pipeline honors
+		// cancellation promptly, so bound the final wait instead of
+		// trusting it.
+		s.hardStop()
+		final, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.awaitIdle(final); err != nil {
+			return fmt.Errorf("drain: %d solves still running after hard cancel", s.inflight.Load())
+		}
+		return ctx.Err()
+	}()
+	if jerr := <-jobsDone; reqErr == nil {
+		reqErr = jerr
 	}
-	return ctx.Err()
+	return reqErr
 }
 
 // awaitIdle polls until no request holds or waits for a slot.
