@@ -34,13 +34,14 @@ func main() {
 
 func run() int {
 	var (
-		benchRe   = flag.String("bench", "BenchmarkTable1PrimalDual|BenchmarkPairCost|BenchmarkBuildParallel", "benchmark regexp passed to go test -bench")
+		benchRe   = flag.String("bench", "BenchmarkTable1PrimalDual|BenchmarkPairCost|BenchmarkBuildParallel|BenchmarkCapacityIntersect|BenchmarkTreeArena|BenchmarkBBNode", "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "1x", "value passed to go test -benchtime")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "", "output artifact path (default BENCH_<date>.json; \"-\" for stdout)")
 		in        = flag.String("in", "", "load this artifact instead of running benchmarks")
 		compare   = flag.String("compare", "", "baseline artifact to diff against")
 		threshold = flag.Float64("threshold", 0.30, "fractional move in the bad direction that counts as a regression")
+		allocTh   = flag.Float64("alloc-threshold", 0.10, "regression threshold for allocs/op and B/op; tighter than -threshold because allocation counts are deterministic, so any growth is a real code-path change rather than timer noise")
 		domain    = flag.Bool("domain", false, "also run the primal-dual flow in-process and record routing quality metrics")
 		industry  = flag.Int("industry", 3, "Industry benchmark for -domain")
 		scale     = flag.Float64("scale", 0.06, "benchmark scale for -domain")
@@ -91,14 +92,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		return 1
 	}
-	deltas := benchreport.Compare(baseline, file, *threshold)
+	deltas := benchreport.CompareThresholds(baseline, file, benchreport.Thresholds{
+		Default: *threshold,
+		PerUnit: map[string]float64{"allocs/op": *allocTh, "B/op": *allocTh},
+	})
 	if len(deltas) == 0 {
 		fmt.Println("no comparable rows between the artifacts")
 		return 0
 	}
 	benchreport.WriteDeltas(os.Stdout, deltas)
 	if regs := benchreport.Regressions(deltas); len(regs) > 0 {
-		fmt.Printf("%d metric(s) regressed past %.0f%%\n", len(regs), *threshold*100)
+		fmt.Printf("%d metric(s) regressed past %.0f%% (alloc metrics: %.0f%%)\n", len(regs), *threshold*100, *allocTh*100)
 		return 3
 	}
 	fmt.Println("no regressions")

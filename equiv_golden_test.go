@@ -1,0 +1,234 @@
+package streak
+
+// Golden-fingerprint equivalence suite for the hot-kernel data-layout work:
+// every solver's full outcome (objective bits, routed canonical geometry,
+// audit outcome) and the built problem's complete candidate set are hashed
+// into fingerprints pinned against goldens captured on the pre-refactor
+// code. Any representation change (SoA candidate edge lists, bitset
+// capacity kernels, pooled scratch, warm-started B&B simplex) that alters a
+// single routed segment, layer choice, cost bit, or audit verdict fails
+// these tests.
+//
+// Regenerate (prints the golden map literal; only do this to extend
+// coverage, never to paper over a diff):
+//
+//	STREAK_WRITE_GOLDEN=1 go test -run TestGoldenFingerprints -v .
+//
+// Preset coverage is bounded by determinism: hier Industry5 hits a per-tile
+// wall-clock timeout at this scale and exact is only run where it proves
+// optimality in seconds, so those combinations are excluded by design.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/benchgen"
+	"repro/internal/exact"
+	"repro/internal/hier"
+	"repro/internal/pd"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// equivScale matches benchScale so golden problems and bench problems are
+// the same designs.
+const equivScale = benchScale
+
+// goldenFingerprints pins the seed (pre-refactor) outcomes. Keys are
+// "<preset>/<flow>"; values come from STREAK_WRITE_GOLDEN output.
+var goldenFingerprints = map[string]string{
+	"Industry1/exact":    "obj=40aafa0000000000 geo=f7cbdd56017d9729 audit=ok",
+	"Industry1/hier":     "obj=40ab0a0000000000 geo=2ebb8257164164bb audit=ok",
+	"Industry1/hier-par": "obj=40bd2d0000000000 geo=e4eeef50cb7c412b audit=ok",
+	"Industry1/pd":       "obj=40aafa0000000000 geo=5a58fea675bfd2cd audit=ok",
+	"Industry1/problem":  "objs=17 cands=204 hash=c861cc3cc586596c",
+	"Industry3/exact":    "obj=40ae7e0000000000 geo=a1398d324a896618 audit=ok",
+	"Industry3/hier":     "obj=40ae960000000000 geo=36fff32a83cb3856 audit=ok",
+	"Industry3/hier-par": "obj=40c3638000000000 geo=f4c962c2bfc711da audit=ok",
+	"Industry3/pd":       "obj=40ae7e0000000000 geo=838f4f2e86584878 audit=ok",
+	"Industry3/problem":  "objs=20 cands=240 hash=eeff75d37d32d31d",
+	"Industry5/pd":       "obj=40d22a36db6db6db geo=730b109c398530fa audit=ok",
+	"Industry5/problem":  "objs=61 cands=732 hash=977c4f614345df7e",
+	"Industry7/hier":     "obj=40b6aa0000000000 geo=c5f7b0c150333057 audit=ok",
+	"Industry7/hier-par": "obj=40b6aa0000000000 geo=c5f7b0c150333057 audit=ok",
+	"Industry7/pd":       "obj=40b6aa0000000000 geo=cf161fbcdf049ddf audit=ok",
+	"Industry7/problem":  "objs=15 cands=180 hash=440e06d4ce441187",
+}
+
+// candUsageTriples returns a candidate's per-edge usage as sorted
+// (layer, idx, need) triples, independent of the underlying representation.
+// This is the single place the suite touches candidate edge storage; when
+// the storage changes, this helper follows and the goldens must not.
+func candUsageTriples(c *topo.Candidate) [][3]int {
+	tr := make([][3]int, 0, len(c.Edges))
+	for _, e := range c.Edges {
+		tr = append(tr, [3]int{int(e.Layer), int(e.Idx), int(e.N)})
+	}
+	sort.Slice(tr, func(a, b int) bool {
+		if tr[a][0] != tr[b][0] {
+			return tr[a][0] < tr[b][0]
+		}
+		return tr[a][1] < tr[b][1]
+	})
+	return tr
+}
+
+// fpProblem digests the complete candidate set: per object the candidate
+// count, per candidate topology index, layers, wirelength, vias, cost bits
+// and the full sorted edge-usage list.
+func fpProblem(p *route.Problem) string {
+	h := fnv.New64a()
+	nc := 0
+	for i := range p.Cands {
+		fmt.Fprintf(h, "o%d:%d;", i, len(p.Cands[i]))
+		for j := range p.Cands[i] {
+			c := &p.Cands[i][j]
+			nc++
+			fmt.Fprintf(h, "c%d,%d,%d,%d,%d,%d;", c.TopoIdx, c.HLayer, c.VLayer, c.WL, c.Vias, c.Cost)
+			for _, t := range candUsageTriples(c) {
+				fmt.Fprintf(h, "e%d.%d.%d;", t[0], t[1], t[2])
+			}
+		}
+	}
+	return fmt.Sprintf("objs=%d cands=%d hash=%016x", len(p.Objects), nc, h.Sum64())
+}
+
+// fpSolve digests one solve outcome: objective bits, routed canonical
+// geometry (layers + canonical segments per bit, plus solution objects) and
+// the independent audit verdict.
+func fpSolve(p *route.Problem, obj float64, a route.Assignment) string {
+	h := fnv.New64a()
+	r := p.ExtractRouting(a)
+	for gi := range r.Bits {
+		for bi := range r.Bits[gi] {
+			b := r.Bits[gi][bi]
+			if !b.Routed {
+				fmt.Fprintf(h, "u;")
+				continue
+			}
+			fmt.Fprintf(h, "b%d,%d:", b.HLayer, b.VLayer)
+			for _, s := range b.Tree.Canon().Segs {
+				fmt.Fprintf(h, "%d.%d.%d.%d;", s.A.X, s.A.Y, s.B.X, s.B.Y)
+			}
+		}
+		for _, so := range r.Objects[gi] {
+			fmt.Fprintf(h, "s%d,%d,%d,%v;", so.RepBit, so.HLayer, so.VLayer, so.BitIdx)
+		}
+	}
+	rep := audit.Check(p.Design, p.Grid, r)
+	verdict := "ok"
+	if !rep.OK() {
+		verdict = fmt.Sprintf("%d", len(rep.Violations))
+	}
+	return fmt.Sprintf("obj=%016x geo=%016x audit=%s", math.Float64bits(obj), h.Sum64(), verdict)
+}
+
+// equivPresets lists the Industry presets with the flows that are
+// deterministic at equivScale (see the package comment for exclusions).
+var equivPresets = []struct {
+	n           int
+	hier, exact bool
+}{
+	{n: 1, hier: true, exact: true},
+	{n: 3, hier: true, exact: true},
+	{n: 5},
+	{n: 7, hier: true},
+}
+
+// computeFingerprints runs every deterministic preset/flow combination and
+// returns its fingerprint map. workers sets route.Options.Workers for the
+// problem build (candidate sets are bit-identical across worker counts).
+func computeFingerprints(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	got := make(map[string]string)
+	for _, pr := range equivPresets {
+		name := fmt.Sprintf("Industry%d", pr.n)
+		d := benchgen.Scale(benchgen.Industry(pr.n), equivScale).Generate()
+		p, err := route.Build(d, route.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		got[name+"/problem"] = fpProblem(p)
+
+		res := pd.Solve(p)
+		got[name+"/pd"] = fpSolve(p, res.Objective, res.Assignment)
+
+		if pr.hier {
+			hs := hier.Solve(p, hier.Options{Tiles: 2})
+			if hs.TilesTimedOut > 0 {
+				t.Fatalf("%s: hier tile timed out; preset is not golden-safe", name)
+			}
+			got[name+"/hier"] = fpSolve(p, hs.Objective, hs.Assignment)
+			hp := hier.Solve(p, hier.Options{Tiles: 2, Workers: 4})
+			if hp.TilesTimedOut > 0 {
+				t.Fatalf("%s: parallel hier tile timed out; preset is not golden-safe", name)
+			}
+			got[name+"/hier-par"] = fpSolve(p, hp.Objective, hp.Assignment)
+		}
+		if pr.exact {
+			es, err := exact.Solve(p, exact.Options{})
+			if err != nil {
+				t.Fatalf("%s: exact: %v", name, err)
+			}
+			if es.TimedOut {
+				t.Fatalf("%s: exact timed out; preset is not golden-safe", name)
+			}
+			got[name+"/exact"] = fpSolve(p, es.Objective, es.Assignment)
+		}
+	}
+	return got
+}
+
+// TestGoldenFingerprints pins every deterministic solver outcome against
+// the pre-refactor goldens (sequential build).
+func TestGoldenFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exact solves")
+	}
+	got := computeFingerprints(t, 1)
+	if os.Getenv("STREAK_WRITE_GOLDEN") != "" {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("\t%q: %q,\n", k, got[k])
+		}
+		return
+	}
+	for k, want := range goldenFingerprints {
+		if got[k] != want {
+			t.Errorf("%s:\n got %s\nwant %s", k, got[k], want)
+		}
+	}
+	for k := range got {
+		if _, ok := goldenFingerprints[k]; !ok {
+			t.Errorf("%s: computed but not pinned; regenerate goldens", k)
+		}
+	}
+}
+
+// TestGoldenFingerprintsParallelBuild proves the parallel problem build and
+// the solves on top of it reproduce the sequential goldens bit-for-bit.
+func TestGoldenFingerprintsParallelBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exact solves")
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 4
+	}
+	got := computeFingerprints(t, w)
+	for k, want := range goldenFingerprints {
+		if got[k] != want {
+			t.Errorf("%s (workers=%d):\n got %s\nwant %s", k, w, got[k], want)
+		}
+	}
+}

@@ -48,8 +48,8 @@ func Route(p *route.Problem) Result {
 		// Candidates are cost-sorted with adjacent bottom layer pairs
 		// first, so the head of the list is the designer's default choice.
 		c := &cands[0]
-		for k, n := range c.Usage {
-			u.Add(k.Layer, k.Idx, n)
+		for _, e := range c.Edges {
+			u.Add(int(e.Layer), int(e.Idx), int(e.N))
 		}
 		obj := &p.Objects[i]
 		gi := obj.GroupIdx

@@ -114,12 +114,38 @@ func metricDirection(unit string) int {
 	}
 }
 
+// Thresholds sets the fractional move tolerated in a metric's bad
+// direction, with optional per-unit overrides. Allocation metrics
+// (allocs/op, B/op) typically get a tighter bound than timing metrics:
+// allocation counts are deterministic per operation, so any growth is a
+// real change in the code path, not scheduler noise.
+type Thresholds struct {
+	// Default applies to any unit without an override (0.30 = 30%).
+	Default float64
+	// PerUnit overrides the default for specific units, e.g.
+	// {"allocs/op": 0.10, "B/op": 0.10}.
+	PerUnit map[string]float64
+}
+
+// For returns the threshold for one unit.
+func (t Thresholds) For(unit string) float64 {
+	if v, ok := t.PerUnit[unit]; ok {
+		return v
+	}
+	return t.Default
+}
+
 // Compare diffs every (benchmark, metric) present in both artifacts.
 // threshold is the fractional move tolerated in the bad direction (0.30 =
 // 30%); quality metrics near zero compare on absolute difference against
 // threshold itself, avoiding spurious ratios. Results are sorted by
 // (name, metric) so output and tests are deterministic.
 func Compare(old, new File, threshold float64) []Delta {
+	return CompareThresholds(old, new, Thresholds{Default: threshold})
+}
+
+// CompareThresholds is Compare with per-unit thresholds.
+func CompareThresholds(old, new File, th Thresholds) []Delta {
 	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
 		oldBy[b.Name] = b
@@ -141,6 +167,7 @@ func Compare(old, new File, threshold float64) []Delta {
 			} else if nv == 0 {
 				d.Ratio = 1
 			}
+			threshold := th.For(unit)
 			switch {
 			case d.Direction == 0:
 			case ov == 0:

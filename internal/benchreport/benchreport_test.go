@@ -127,6 +127,33 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+func TestCompareThresholdsPerUnit(t *testing.T) {
+	old := file(row("B", map[string]float64{
+		"ns/op": 1000, "allocs/op": 100, "B/op": 4096,
+	}))
+	// ns/op +20% (inside the 30% default), allocations +20% (outside the
+	// tighter 10% alloc bound) — only the alloc metrics must flag.
+	newer := file(row("B", map[string]float64{
+		"ns/op": 1200, "allocs/op": 120, "B/op": 4915,
+	}))
+	th := Thresholds{Default: 0.30, PerUnit: map[string]float64{"allocs/op": 0.10, "B/op": 0.10}}
+	got := map[string]bool{}
+	for _, d := range CompareThresholds(old, newer, th) {
+		got[d.Metric] = d.Regressed
+	}
+	if got["ns/op"] {
+		t.Error("20% ns/op move flagged despite 30% default threshold")
+	}
+	if !got["allocs/op"] || !got["B/op"] {
+		t.Errorf("20%% allocation growth not flagged at 10%% alloc threshold: %+v", got)
+	}
+	// An allocation move inside the tighter bound stays green.
+	ok := file(row("B", map[string]float64{"ns/op": 1000, "allocs/op": 105, "B/op": 4096}))
+	if regs := Regressions(CompareThresholds(old, ok, th)); len(regs) != 0 {
+		t.Errorf("within-alloc-threshold move flagged: %+v", regs)
+	}
+}
+
 func TestCompareZeroBaseline(t *testing.T) {
 	old := file(row("B", map[string]float64{"overflow": 0}))
 	bad := file(row("B", map[string]float64{"overflow": 7}))

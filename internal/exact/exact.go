@@ -165,13 +165,16 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		maxSum int
 	}
 	edges := make(map[topo.EdgeKey]*edgeAgg)
+	var edgeOrder []topo.EdgeKey // deterministic first-touch row order
 	perObjMax := make(map[topo.EdgeKey]int)
 	for i := range p.Cands {
 		for k := range perObjMax {
 			delete(perObjMax, k)
 		}
 		for j := range p.Cands[i] {
-			for k, n := range p.Cands[i][j].Usage {
+			for _, eu := range p.Cands[i][j].Edges {
+				k := topo.EdgeKey{Layer: int(eu.Layer), Idx: int(eu.Idx)}
+				n := int(eu.N)
 				if n > perObjMax[k] {
 					perObjMax[k] = n
 				}
@@ -179,6 +182,7 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 				if e == nil {
 					e = &edgeAgg{}
 					edges[k] = e
+					edgeOrder = append(edgeOrder, k)
 				}
 				e.terms = append(e.terms, ilp.Term{Var: xIdx[i][j], Coef: float64(n)})
 			}
@@ -187,7 +191,8 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 			edges[k].maxSum += mx
 		}
 	}
-	for k, e := range edges {
+	for _, k := range edgeOrder {
+		e := edges[k]
 		x, y := p.Grid.EdgeCell(k.Layer, k.Idx)
 		cap := p.Grid.Cap(k.Layer, x, y)
 		if e.maxSum <= cap {

@@ -1,0 +1,322 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The reference implementations below are verbatim copies of the map-based
+// kernels the Arena replaced; the tests pin the SoA kernels against them on
+// randomized segment soups, including the byte-for-byte output order of
+// Canon that downstream usage accounting depends on.
+
+type refLine struct {
+	horizontal bool
+	fixed      int
+	lo, hi     int
+}
+
+func refMergeLines(segs []Seg) []refLine {
+	type key struct {
+		horizontal bool
+		fixed      int
+	}
+	groups := make(map[key][][2]int)
+	for _, s := range segs {
+		if s.Len() == 0 {
+			continue
+		}
+		n := s.Norm()
+		if n.Horizontal() {
+			k := key{true, n.A.Y}
+			groups[k] = append(groups[k], [2]int{n.A.X, n.B.X})
+		} else {
+			k := key{false, n.A.X}
+			groups[k] = append(groups[k], [2]int{n.A.Y, n.B.Y})
+		}
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].horizontal != keys[j].horizontal {
+			return keys[i].horizontal
+		}
+		return keys[i].fixed < keys[j].fixed
+	})
+	var out []refLine
+	for _, k := range keys {
+		ivs := groups[k]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		cur := ivs[0]
+		for _, iv := range ivs[1:] {
+			if iv[0] <= cur[1] {
+				if iv[1] > cur[1] {
+					cur[1] = iv[1]
+				}
+				continue
+			}
+			out = append(out, refLine{k.horizontal, k.fixed, cur[0], cur[1]})
+			cur = iv
+		}
+		out = append(out, refLine{k.horizontal, k.fixed, cur[0], cur[1]})
+	}
+	return out
+}
+
+func refWireLength(segs []Seg) int {
+	total := 0
+	for _, iv := range refMergeLines(segs) {
+		total += iv.hi - iv.lo
+	}
+	return total
+}
+
+func refCanon(segs []Seg) []Seg {
+	lines := refMergeLines(segs)
+	cuts := make([][]int, len(lines))
+	for i, l := range lines {
+		cuts[i] = []int{l.lo, l.hi}
+	}
+	for i, a := range lines {
+		for j, b := range lines {
+			if i == j || a.horizontal == b.horizontal {
+				continue
+			}
+			if b.fixed >= a.lo && b.fixed <= a.hi && a.fixed >= b.lo && a.fixed <= b.hi {
+				cuts[i] = append(cuts[i], b.fixed)
+			}
+		}
+	}
+	var out []Seg
+	for i, l := range lines {
+		cs := cuts[i]
+		sort.Ints(cs)
+		prev := cs[0]
+		for _, c := range cs[1:] {
+			if c == prev {
+				continue
+			}
+			if l.horizontal {
+				out = append(out, Seg{A: Point{prev, l.fixed}, B: Point{c, l.fixed}})
+			} else {
+				out = append(out, Seg{A: Point{l.fixed, prev}, B: Point{l.fixed, c}})
+			}
+			prev = c
+		}
+	}
+	return out
+}
+
+func refBends(segs []Seg) int {
+	c := refCanon(segs)
+	type inc struct{ h, v, deg int }
+	m := make(map[Point]*inc)
+	touch := func(p Point, horizontal bool) {
+		e := m[p]
+		if e == nil {
+			e = &inc{}
+			m[p] = e
+		}
+		e.deg++
+		if horizontal {
+			e.h++
+		} else {
+			e.v++
+		}
+	}
+	for _, s := range c {
+		touch(s.A, s.Horizontal())
+		touch(s.B, s.Horizontal())
+	}
+	bends := 0
+	for _, e := range m {
+		if e.deg == 2 && e.h == 1 && e.v == 1 {
+			bends++
+		}
+	}
+	return bends
+}
+
+// randSegs draws a random rectilinear segment soup: overlapping runs,
+// duplicate and zero-length segments, negative coordinates, crossings.
+func randSegs(rng *rand.Rand, n int) []Seg {
+	segs := make([]Seg, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Intn(21) - 10
+		y := rng.Intn(21) - 10
+		d := rng.Intn(11) - 5
+		if rng.Intn(2) == 0 {
+			segs = append(segs, Seg{A: Point{x, y}, B: Point{x + d, y}})
+		} else {
+			segs = append(segs, Seg{A: Point{x, y}, B: Point{x, y + d}})
+		}
+	}
+	return segs
+}
+
+func TestArenaKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := GetArena()
+	defer PutArena(a)
+	for trial := 0; trial < 2000; trial++ {
+		segs := randSegs(rng, 1+rng.Intn(14))
+		t1 := Tree{Segs: segs}
+
+		if got, want := a.WireLength(segs), refWireLength(segs); got != want {
+			t.Fatalf("trial %d: WireLength=%d want %d (segs %v)", trial, got, want, segs)
+		}
+		if got, want := t1.WireLength(), refWireLength(segs); got != want {
+			t.Fatalf("trial %d: Tree.WireLength=%d want %d", trial, got, want)
+		}
+
+		wantCanon := refCanon(segs)
+		gotCanon := a.Canon(segs)
+		if len(gotCanon) != len(wantCanon) {
+			t.Fatalf("trial %d: Canon len=%d want %d (segs %v)", trial, len(gotCanon), len(wantCanon), segs)
+		}
+		for i := range gotCanon {
+			if gotCanon[i] != wantCanon[i] {
+				t.Fatalf("trial %d: Canon[%d]=%v want %v (segs %v)", trial, i, gotCanon[i], wantCanon[i], segs)
+			}
+		}
+		treeCanon := t1.Canon().Segs
+		if len(treeCanon) != len(wantCanon) {
+			t.Fatalf("trial %d: Tree.Canon len=%d want %d", trial, len(treeCanon), len(wantCanon))
+		}
+		for i := range treeCanon {
+			if treeCanon[i] != wantCanon[i] {
+				t.Fatalf("trial %d: Tree.Canon[%d]=%v want %v", trial, i, treeCanon[i], wantCanon[i])
+			}
+		}
+
+		if got, want := a.Bends(segs), refBends(segs); got != want {
+			t.Fatalf("trial %d: Bends=%d want %d (segs %v)", trial, got, want, segs)
+		}
+		if got, want := t1.Bends(), refBends(segs); got != want {
+			t.Fatalf("trial %d: Tree.Bends=%d want %d (segs %v)", trial, got, want, segs)
+		}
+	}
+}
+
+func TestArenaWideCoordinates(t *testing.T) {
+	// Coordinates beyond the packed 31-bit range must take the wide
+	// fallback and still match the reference kernels exactly.
+	rng := rand.New(rand.NewSource(13))
+	a := GetArena()
+	defer PutArena(a)
+	offsets := []Point{
+		{1 << 32, 0}, {0, -(1 << 40)}, {4_000_000_000, 4_000_000_000}, {-(1 << 31), 1 << 33},
+	}
+	for trial := 0; trial < 200; trial++ {
+		off := offsets[trial%len(offsets)]
+		segs := randSegs(rng, 1+rng.Intn(10))
+		for i := range segs {
+			segs[i].A = segs[i].A.Add(off)
+			segs[i].B = segs[i].B.Add(off)
+		}
+		if got, want := a.WireLength(segs), refWireLength(segs); got != want {
+			t.Fatalf("trial %d: wide WireLength=%d want %d", trial, got, want)
+		}
+		gotCanon, wantCanon := a.Canon(segs), refCanon(segs)
+		if len(gotCanon) != len(wantCanon) {
+			t.Fatalf("trial %d: wide Canon len=%d want %d", trial, len(gotCanon), len(wantCanon))
+		}
+		for i := range gotCanon {
+			if gotCanon[i] != wantCanon[i] {
+				t.Fatalf("trial %d: wide Canon[%d]=%v want %v", trial, i, gotCanon[i], wantCanon[i])
+			}
+		}
+		if got, want := a.Bends(segs), refBends(segs); got != want {
+			t.Fatalf("trial %d: wide Bends=%d want %d", trial, got, want)
+		}
+	}
+	// A single maximal span reproduces the metrics huge-grid scenario.
+	const span = 4_000_000_000
+	if got := a.WireLength([]Seg{S(Pt(0, 0), Pt(span, 0))}); got != span {
+		t.Fatalf("huge span WireLength=%d want %d", got, span)
+	}
+}
+
+func TestArenaScratchReuse(t *testing.T) {
+	// The same arena must produce correct results across interleaved kernel
+	// calls; scratch from one call must not leak into the next.
+	rng := rand.New(rand.NewSource(11))
+	a := GetArena()
+	defer PutArena(a)
+	segsA := randSegs(rng, 12)
+	segsB := randSegs(rng, 3)
+	wantA, wantB := refCanon(segsA), refCanon(segsB)
+	for i := 0; i < 50; i++ {
+		ca := append([]Seg(nil), a.Canon(segsA)...)
+		_ = a.WireLength(segsB)
+		_ = a.Bends(segsA)
+		cb := append([]Seg(nil), a.Canon(segsB)...)
+		if len(ca) != len(wantA) || len(cb) != len(wantB) {
+			t.Fatalf("iter %d: scratch leak: lens %d/%d want %d/%d", i, len(ca), len(cb), len(wantA), len(wantB))
+		}
+		for j := range ca {
+			if ca[j] != wantA[j] {
+				t.Fatalf("iter %d: Canon A mismatch at %d", i, j)
+			}
+		}
+		for j := range cb {
+			if cb[j] != wantB[j] {
+				t.Fatalf("iter %d: Canon B mismatch at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestArenaCountersAdvance(t *testing.T) {
+	g0, _ := ArenaCounters()
+	a := GetArena()
+	PutArena(a)
+	g1, f1 := ArenaCounters()
+	if g1 <= g0 {
+		t.Fatalf("gets did not advance: %d -> %d", g0, g1)
+	}
+	if f1 > g1 {
+		t.Fatalf("fresh %d exceeds gets %d", f1, g1)
+	}
+}
+
+func TestPackKeyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("packKey accepted an out-of-range coordinate")
+		}
+	}()
+	packKey(false, 1<<30, 0)
+}
+
+func BenchmarkArenaKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	segs := randSegs(rng, 12)
+	b.Run("canon", func(b *testing.B) {
+		b.ReportAllocs()
+		a := GetArena()
+		defer PutArena(a)
+		for i := 0; i < b.N; i++ {
+			a.Canon(segs)
+		}
+	})
+	b.Run("bends", func(b *testing.B) {
+		b.ReportAllocs()
+		a := GetArena()
+		defer PutArena(a)
+		for i := 0; i < b.N; i++ {
+			a.Bends(segs)
+		}
+	})
+	b.Run("wirelength", func(b *testing.B) {
+		b.ReportAllocs()
+		a := GetArena()
+		defer PutArena(a)
+		for i := 0; i < b.N; i++ {
+			a.WireLength(segs)
+		}
+	})
+}

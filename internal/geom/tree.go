@@ -44,10 +44,9 @@ func (t Tree) Translate(d Point) Tree {
 // WireLength returns the total length of the union of the tree's segments.
 // Overlapping collinear segments are counted once.
 func (t Tree) WireLength() int {
-	total := 0
-	for _, iv := range mergeLines(t.Segs) {
-		total += iv.hi - iv.lo
-	}
+	a := GetArena()
+	total := a.WireLength(t.Segs)
+	PutArena(a)
 	return total
 }
 
@@ -62,111 +61,20 @@ func (t Tree) String() string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
-// line is a maximal collinear run: horizontal (fixed=Y) or vertical
-// (fixed=X), spanning [lo,hi] on the moving axis.
-type line struct {
-	horizontal bool
-	fixed      int
-	lo, hi     int
-}
-
-// mergeLines merges the segments into maximal disjoint collinear runs.
-func mergeLines(segs []Seg) []line {
-	type key struct {
-		horizontal bool
-		fixed      int
-	}
-	groups := make(map[key][][2]int)
-	for _, s := range segs {
-		if s.Len() == 0 {
-			continue
-		}
-		n := s.Norm()
-		if n.Horizontal() {
-			k := key{true, n.A.Y}
-			groups[k] = append(groups[k], [2]int{n.A.X, n.B.X})
-		} else {
-			k := key{false, n.A.X}
-			groups[k] = append(groups[k], [2]int{n.A.Y, n.B.Y})
-		}
-	}
-	keys := make([]key, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].horizontal != keys[j].horizontal {
-			return keys[i].horizontal
-		}
-		return keys[i].fixed < keys[j].fixed
-	})
-	var out []line
-	for _, k := range keys {
-		ivs := groups[k]
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
-		cur := ivs[0]
-		for _, iv := range ivs[1:] {
-			if iv[0] <= cur[1] {
-				if iv[1] > cur[1] {
-					cur[1] = iv[1]
-				}
-				continue
-			}
-			out = append(out, line{k.horizontal, k.fixed, cur[0], cur[1]})
-			cur = iv
-		}
-		out = append(out, line{k.horizontal, k.fixed, cur[0], cur[1]})
-	}
-	return out
-}
-
-func (l line) seg() Seg {
-	if l.horizontal {
-		return Seg{A: Point{l.lo, l.fixed}, B: Point{l.hi, l.fixed}}
-	}
-	return Seg{A: Point{l.fixed, l.lo}, B: Point{l.fixed, l.hi}}
-}
-
 // Canon returns the canonical form of the tree: collinear overlaps merged,
 // then every run split at each endpoint or crossing that touches it. In the
-// canonical form two segments share at most a single endpoint.
+// canonical form two segments share at most a single endpoint. The segments
+// come back in canonical order: horizontal runs first, then by fixed
+// coordinate ascending, cuts ascending.
 func (t Tree) Canon() Tree {
-	lines := mergeLines(t.Segs)
-	// Collect cut points per line: endpoints of other lines lying on it and
-	// crossings between perpendicular lines.
-	cuts := make([][]int, len(lines))
-	for i, l := range lines {
-		cuts[i] = []int{l.lo, l.hi}
+	a := GetArena()
+	cs := a.Canon(t.Segs)
+	out := Tree{}
+	if len(cs) > 0 {
+		out.Segs = make([]Seg, len(cs))
+		copy(out.Segs, cs)
 	}
-	for i, a := range lines {
-		for j, b := range lines {
-			if i == j || a.horizontal == b.horizontal {
-				continue
-			}
-			// a and b are perpendicular. They intersect iff b.fixed in
-			// [a.lo,a.hi] along a's moving axis and a.fixed in [b.lo,b.hi].
-			if b.fixed >= a.lo && b.fixed <= a.hi && a.fixed >= b.lo && a.fixed <= b.hi {
-				cuts[i] = append(cuts[i], b.fixed)
-			}
-		}
-	}
-	var out Tree
-	for i, l := range lines {
-		cs := cuts[i]
-		sort.Ints(cs)
-		prev := cs[0]
-		for _, c := range cs[1:] {
-			if c == prev {
-				continue
-			}
-			if l.horizontal {
-				out.Segs = append(out.Segs, Seg{A: Point{prev, l.fixed}, B: Point{c, l.fixed}})
-			} else {
-				out.Segs = append(out.Segs, Seg{A: Point{l.fixed, prev}, B: Point{l.fixed, c}})
-			}
-			prev = c
-		}
-	}
+	PutArena(a)
 	return out
 }
 
@@ -205,32 +113,9 @@ func (t Tree) adjacency() ([]Point, map[Point][]Point) {
 // Bends returns the number of bending points: canonical nodes of degree 2
 // whose incident segments are perpendicular.
 func (t Tree) Bends() int {
-	c := t.Canon()
-	type inc struct{ h, v, deg int }
-	m := make(map[Point]*inc)
-	touch := func(p Point, horizontal bool) {
-		e := m[p]
-		if e == nil {
-			e = &inc{}
-			m[p] = e
-		}
-		e.deg++
-		if horizontal {
-			e.h++
-		} else {
-			e.v++
-		}
-	}
-	for _, s := range c.Segs {
-		touch(s.A, s.Horizontal())
-		touch(s.B, s.Horizontal())
-	}
-	bends := 0
-	for _, e := range m {
-		if e.deg == 2 && e.h == 1 && e.v == 1 {
-			bends++
-		}
-	}
+	a := GetArena()
+	bends := a.Bends(t.Segs)
+	PutArena(a)
 	return bends
 }
 

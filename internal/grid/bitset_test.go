@@ -1,0 +1,93 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// checkBlockedInvariant asserts bit idx of BlockedWords(l) is set exactly
+// when Avail(l, idx) < 1, for every edge of every layer.
+func checkBlockedInvariant(t *testing.T, u *Usage) {
+	t.Helper()
+	g := u.Grid()
+	for l := range g.Layers {
+		words := u.BlockedWords(l)
+		for idx := 0; idx < g.EdgeCount(l); idx++ {
+			got := words[idx>>6]&(1<<(idx&63)) != 0
+			want := u.Avail(l, idx) < 1
+			if got != want {
+				t.Fatalf("layer %d edge %d: blocked=%v avail=%d", l, idx, got, u.Avail(l, idx))
+			}
+		}
+	}
+}
+
+func TestBlockedBitsetTracksAvail(t *testing.T) {
+	g := New(9, 7, DefaultLayers(4, 2))
+	g.SetRegionCap(0, geom.Rect{Lo: geom.Pt(2, 2), Hi: geom.Pt(4, 4)}, 0)
+	u := NewUsage(g)
+	checkBlockedInvariant(t, u)
+
+	rng := rand.New(rand.NewSource(5))
+	type op struct{ l, idx int }
+	var held []op
+	for i := 0; i < 3000; i++ {
+		l := rng.Intn(len(g.Layers))
+		idx := rng.Intn(g.EdgeCount(l))
+		if len(held) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(held))
+			u.Add(held[k].l, held[k].idx, -1)
+			held = append(held[:k], held[k+1:]...)
+		} else {
+			u.Add(l, idx, 1)
+			held = append(held, op{l, idx})
+		}
+	}
+	checkBlockedInvariant(t, u)
+
+	// A capacity edit after NewUsage must fold in lazily.
+	g.SetCap(1, 3, 3, 0)
+	checkBlockedInvariant(t, u)
+	g.SetRegionCap(2, geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(8, 6)}, 1)
+	checkBlockedInvariant(t, u)
+
+	// Clone carries the bitset; Reset restores the all-zero state.
+	c := u.Clone()
+	checkBlockedInvariant(t, c)
+	u.Reset()
+	if u.TotalUse() != 0 {
+		t.Fatalf("Reset left %d tracks in use", u.TotalUse())
+	}
+	checkBlockedInvariant(t, u)
+}
+
+func TestUsagePool(t *testing.T) {
+	g := New(6, 6, DefaultLayers(2, 3))
+	p := NewUsagePool(g)
+	u := p.Get()
+	u.Add(0, 1, 3)
+	p.Put(u)
+	v := p.Get()
+	if v.TotalUse() != 0 {
+		t.Fatalf("pooled tracker not reset: %d tracks in use", v.TotalUse())
+	}
+	checkBlockedInvariant(t, v)
+	p.Put(v)
+	gets, fresh := p.Counters()
+	if gets != 2 {
+		t.Fatalf("gets=%d want 2", gets)
+	}
+	if fresh < 1 || fresh > gets {
+		t.Fatalf("fresh=%d out of range (gets=%d)", fresh, gets)
+	}
+
+	other := New(6, 6, DefaultLayers(2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put accepted a tracker for a different grid")
+		}
+	}()
+	p.Put(NewUsage(other))
+}

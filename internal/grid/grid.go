@@ -50,6 +50,12 @@ type Grid struct {
 	// caps[l] holds the remaining-capacity-independent base capacity for
 	// every edge on layer l, indexed by EdgeIndex.
 	caps [][]int32
+
+	// capGen counts capacity edits (SetCap/SetRegionCap); Usage trackers
+	// compare it against the generation their blocked-edge bitsets were
+	// built from and resync lazily, so capacity edits after NewUsage stay
+	// correct without a hot-path cost beyond one comparison.
+	capGen uint64
 }
 
 // New creates a grid with every edge set to its layer's default capacity.
@@ -150,11 +156,13 @@ func (g *Grid) Cap(l, x, y int) int {
 // SetCap overrides the base capacity of a single edge.
 func (g *Grid) SetCap(l, x, y, c int) {
 	g.caps[l][g.EdgeIndex(l, x, y)] = int32(c)
+	g.capGen++
 }
 
 // SetRegionCap sets the capacity of every edge on layer l whose source cell
 // lies inside r (inclusive) — used to model blockages and congested macros.
 func (g *Grid) SetRegionCap(l int, r geom.Rect, c int) {
+	g.capGen++
 	for y := max(0, r.Lo.Y); y <= min(g.H-1, r.Hi.Y); y++ {
 		for x := max(0, r.Lo.X); x <= min(g.W-1, r.Hi.X); x++ {
 			if g.Layers[l].Dir == Horizontal && x < g.W-1 {

@@ -2,23 +2,38 @@ package grid
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
 
 // Usage tracks the number of tracks in use on every edge of a Grid. It is
 // the mutable routing state layered over the immutable base capacities.
+//
+// Alongside the scalar per-edge counts it maintains a words-wide
+// blocked-edge bitset per layer: bit idx of blocked[l] is set exactly when
+// edge idx has no remaining track (Avail < 1). Candidate capacity checks
+// intersect precomputed candidate masks against these words — O(edges/64)
+// word-ANDs instead of a segment-at-a-time walk (see BlockedWords).
 type Usage struct {
-	g   *Grid
-	use [][]int32
+	g       *Grid
+	use     [][]int32
+	blocked [][]uint64
+	// capGen is the Grid.capGen the blocked bitset was last synced to;
+	// a capacity edit after NewUsage triggers a lazy rebuild.
+	capGen uint64
 }
 
 // NewUsage creates an all-zero usage tracker for g.
 func NewUsage(g *Grid) *Usage {
-	u := &Usage{g: g, use: make([][]int32, len(g.Layers))}
+	u := &Usage{g: g, use: make([][]int32, len(g.Layers)), blocked: make([][]uint64, len(g.Layers))}
 	for l := range g.Layers {
-		u.use[l] = make([]int32, g.EdgeCount(l))
+		n := g.EdgeCount(l)
+		u.use[l] = make([]int32, n)
+		u.blocked[l] = make([]uint64, (n+63)/64)
 	}
+	u.rebuildBlocked()
 	return u
 }
 
@@ -27,11 +42,53 @@ func (u *Usage) Grid() *Grid { return u.g }
 
 // Clone returns an independent copy of the usage state.
 func (u *Usage) Clone() *Usage {
-	c := &Usage{g: u.g, use: make([][]int32, len(u.use))}
+	c := &Usage{g: u.g, use: make([][]int32, len(u.use)), blocked: make([][]uint64, len(u.blocked)), capGen: u.capGen}
 	for l := range u.use {
 		c.use[l] = append([]int32(nil), u.use[l]...)
+		c.blocked[l] = append([]uint64(nil), u.blocked[l]...)
 	}
 	return c
+}
+
+// Reset returns the tracker to the all-zero state, keeping its storage —
+// the pooled-scratch path for steady-state serving.
+func (u *Usage) Reset() {
+	for l := range u.use {
+		s := u.use[l]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	u.rebuildBlocked()
+}
+
+// rebuildBlocked recomputes every layer's blocked bitset from the current
+// use counts and capacities.
+func (u *Usage) rebuildBlocked() {
+	for l := range u.use {
+		b := u.blocked[l]
+		for i := range b {
+			b[i] = 0
+		}
+		caps := u.g.caps[l]
+		for idx, v := range u.use[l] {
+			if v >= caps[idx] {
+				b[idx>>6] |= 1 << (idx & 63)
+			}
+		}
+	}
+	u.capGen = u.g.capGen
+}
+
+// BlockedWords returns layer l's blocked-edge bitset: bit idx is set iff
+// edge idx has no remaining track. The slice aliases the tracker's state —
+// read-only, valid until the next mutation. Capacity edits on the grid
+// since the last call are folded in lazily.
+func (u *Usage) BlockedWords(l int) []uint64 {
+	if u.capGen != u.g.capGen {
+		u.rebuildBlocked()
+	}
+	return u.blocked[l]
 }
 
 // Use returns the tracks in use on edge idx of layer l.
@@ -59,6 +116,11 @@ func (u *Usage) Add(l, idx, delta int) {
 		panic(fmt.Sprintf("grid: usage underflow on layer %d edge %d", l, idx))
 	}
 	u.use[l][idx] = v
+	if v >= u.g.caps[l][idx] {
+		u.blocked[l][idx>>6] |= 1 << (idx & 63)
+	} else {
+		u.blocked[l][idx>>6] &^= 1 << (idx & 63)
+	}
 }
 
 // AddSeg adds delta tracks along every edge the segment covers on layer l.
@@ -154,4 +216,49 @@ func (u *Usage) CellCongestion() [][]int {
 		}
 	}
 	return m
+}
+
+// UsagePool pools Usage trackers for one grid so steady-state solve paths
+// (one tracker per pd/hier solve, per-request scratch under streakd) reuse
+// storage instead of reallocating every layer's edge arrays. Get returns a
+// zeroed tracker; Put recycles one. Safe for concurrent use.
+type UsagePool struct {
+	g    *Grid
+	pool sync.Pool
+
+	gets  atomic.Int64
+	fresh atomic.Int64
+}
+
+// NewUsagePool creates a pool handing out trackers for g.
+func NewUsagePool(g *Grid) *UsagePool {
+	p := &UsagePool{g: g}
+	p.pool.New = func() any {
+		p.fresh.Add(1)
+		return NewUsage(p.g)
+	}
+	return p
+}
+
+// Get returns an all-zero tracker, reusing a pooled one when available.
+func (p *UsagePool) Get() *Usage {
+	p.gets.Add(1)
+	u := p.pool.Get().(*Usage)
+	u.Reset()
+	return u
+}
+
+// Put recycles the tracker. It panics when u tracks a different grid,
+// which is always a caller bug.
+func (p *UsagePool) Put(u *Usage) {
+	if u.g != p.g {
+		panic("grid: UsagePool.Put with a tracker for a different grid")
+	}
+	p.pool.Put(u)
+}
+
+// Counters reports cumulative Get calls and how many of them had to
+// allocate a fresh tracker — the pooled-vs-fresh telemetry split.
+func (p *UsagePool) Counters() (gets, fresh int64) {
+	return p.gets.Load(), p.fresh.Load()
 }

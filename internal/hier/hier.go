@@ -105,7 +105,19 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 
 	tiles := partition(p, opt.Tiles)
 	a := p.NewAssignment()
-	u := grid.NewUsage(p.Grid)
+	pool := p.UsagePool()
+	// Counter snapshot precedes the first Get so the solve's own
+	// acquisitions are part of the reported delta.
+	if rec := obs.FromContext(ctx); rec != nil {
+		g0, f0 := pool.Counters()
+		defer func() {
+			g1, f1 := pool.Counters()
+			rec.Add("hier.usage.pool.gets", g1-g0)
+			rec.Add("hier.usage.pool.fresh", f1-f0)
+		}()
+	}
+	u := pool.Get()
+	defer pool.Put(u)
 	var res Result
 
 	finish := func(err error) (Result, error) {
@@ -289,8 +301,8 @@ func commitPlan(p *route.Problem, plan []candSel, u *grid.Usage, a *route.Assign
 			continue
 		}
 		a.Choice[s.i] = s.j
-		for k, n := range p.Cands[s.i][s.j].Usage {
-			u.Add(k.Layer, k.Idx, n)
+		for _, e := range p.Cands[s.i][s.j].Edges {
+			u.Add(int(e.Layer), int(e.Idx), int(e.N))
 		}
 	}
 }
@@ -377,16 +389,22 @@ func planTile(ctx context.Context, p *route.Problem, objs []int, u *grid.Usage, 
 			m.AddSOS(sos)
 		}
 	}
-	// Residual capacity rows (lazy) over edges touched by tile candidates.
+	// Residual capacity rows (lazy) over edges touched by tile candidates,
+	// added in deterministic first-touch order.
 	edgeTerms := make(map[topo.EdgeKey][]ilp.Term)
+	var edgeOrder []topo.EdgeKey
 	for vi, r := range vars {
-		for k, n := range p.Cands[r.i][r.j].Usage {
-			edgeTerms[k] = append(edgeTerms[k], ilp.Term{Var: vi, Coef: float64(n)})
+		for _, e := range p.Cands[r.i][r.j].Edges {
+			k := topo.EdgeKey{Layer: int(e.Layer), Idx: int(e.Idx)}
+			if _, seen := edgeTerms[k]; !seen {
+				edgeOrder = append(edgeOrder, k)
+			}
+			edgeTerms[k] = append(edgeTerms[k], ilp.Term{Var: vi, Coef: float64(e.N)})
 		}
 	}
-	for k, terms := range edgeTerms {
+	for _, k := range edgeOrder {
 		avail := u.Avail(k.Layer, k.Idx)
-		m.AddLazyConstraint(terms, float64(avail))
+		m.AddLazyConstraint(edgeTerms[k], float64(avail))
 	}
 
 	res := ilp.Solve(m, ilp.SolveOptions{Ctx: ctx, TimeLimit: opt.TimePerTile})
@@ -445,8 +463,8 @@ func greedySweep(ctx context.Context, p *route.Problem, u *grid.Usage, a *route.
 			continue
 		}
 		a.Choice[i] = bestJ
-		for k, n := range p.Cands[i][bestJ].Usage {
-			u.Add(k.Layer, k.Idx, n)
+		for _, e := range p.Cands[i][bestJ].Edges {
+			u.Add(int(e.Layer), int(e.Idx), int(e.N))
 		}
 		routed++
 	}

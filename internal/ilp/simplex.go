@@ -3,10 +3,16 @@ package ilp
 import (
 	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
 )
+
+// uniqueTol bounds how close a nonbasic reduced cost may sit to zero before
+// the warm path treats the LP optimum as non-unique and defers to cold.
+const uniqueTol = 1e-6
 
 // lpStatus reports the outcome of an LP relaxation solve.
 type lpStatus int
@@ -25,6 +31,156 @@ type lpResult struct {
 	iters  int // simplex iterations spent (pivots + bound flips)
 }
 
+// lpState is one simplex tableau with its basis bookkeeping. Cold solves
+// build it from the all-slack basis; warm solves rebuild it from a parent
+// node's final basis. All storage comes from an lpScratch freelist so
+// steady-state branch-and-bound allocates (almost) nothing per node.
+type lpState struct {
+	n, rows, ncols int
+	t              [][]float64
+	basis          []int
+	xB             []float64
+	atUpper        []bool
+	inBasis        []bool
+	colLo, colHi   []float64
+	cost, objRow   []float64
+}
+
+func (st *lpState) nbVal(j int) float64 {
+	if st.atUpper[j] {
+		return st.colHi[j]
+	}
+	return st.colLo[j]
+}
+
+// lpScratch recycles tableau rows and bookkeeping vectors across the many
+// LP solves of one branch-and-bound run. Scratches themselves are pooled
+// across runs (with pooled-vs-fresh counters for telemetry), so a serving
+// process reaches near-zero steady-state allocation in the solver.
+type lpScratch struct {
+	vecs   [][]float64
+	ints   [][]int
+	bools  [][]bool
+	states []*lpState
+	fresh  bool // true until first reuse; lets callers report pooled-vs-fresh
+}
+
+var (
+	lpScratchPool = sync.Pool{New: func() any {
+		scratchFresh.Add(1)
+		return &lpScratch{fresh: true}
+	}}
+	scratchGets  atomic.Int64
+	scratchFresh atomic.Int64
+)
+
+func getScratch() *lpScratch {
+	scratchGets.Add(1)
+	return lpScratchPool.Get().(*lpScratch)
+}
+
+func putScratch(s *lpScratch) { lpScratchPool.Put(s) }
+
+// ScratchCounters reports cumulative simplex-scratch acquisitions and how
+// many had to allocate fresh — the pooled-vs-fresh telemetry split.
+func ScratchCounters() (gets, fresh int64) {
+	return scratchGets.Load(), scratchFresh.Load()
+}
+
+func (s *lpScratch) vec(size int) []float64 {
+	for len(s.vecs) > 0 {
+		v := s.vecs[len(s.vecs)-1]
+		s.vecs = s.vecs[:len(s.vecs)-1]
+		if cap(v) >= size {
+			v = v[:size]
+			for i := range v {
+				v[i] = 0
+			}
+			return v
+		}
+	}
+	return make([]float64, size)
+}
+
+func (s *lpScratch) ivec(size int) []int {
+	for len(s.ints) > 0 {
+		v := s.ints[len(s.ints)-1]
+		s.ints = s.ints[:len(s.ints)-1]
+		if cap(v) >= size {
+			v = v[:size]
+			for i := range v {
+				v[i] = 0
+			}
+			return v
+		}
+	}
+	return make([]int, size)
+}
+
+func (s *lpScratch) bvec(size int) []bool {
+	for len(s.bools) > 0 {
+		v := s.bools[len(s.bools)-1]
+		s.bools = s.bools[:len(s.bools)-1]
+		if cap(v) >= size {
+			v = v[:size]
+			for i := range v {
+				v[i] = false
+			}
+			return v
+		}
+	}
+	return make([]bool, size)
+}
+
+// newState hands out a state shell with rows/vectors sized for the solve.
+func (s *lpScratch) newState(n, rows, ncols int) *lpState {
+	var st *lpState
+	if k := len(s.states); k > 0 {
+		st = s.states[k-1]
+		s.states = s.states[:k-1]
+	} else {
+		st = new(lpState)
+	}
+	st.n, st.rows, st.ncols = n, rows, ncols
+	if cap(st.t) >= rows {
+		st.t = st.t[:rows]
+	} else {
+		st.t = make([][]float64, rows)
+	}
+	for i := range st.t {
+		st.t[i] = s.vec(ncols)
+	}
+	st.basis = s.ivec(rows)
+	st.xB = s.vec(rows)
+	st.atUpper = s.bvec(ncols)
+	st.inBasis = s.bvec(ncols)
+	st.colLo = s.vec(ncols)
+	st.colHi = s.vec(ncols)
+	st.cost = s.vec(ncols)
+	st.objRow = s.vec(ncols)
+	return st
+}
+
+// free returns every slice of st to the freelists.
+func (s *lpScratch) free(st *lpState) {
+	if st == nil {
+		return
+	}
+	for i := range st.t {
+		if st.t[i] != nil {
+			s.vecs = append(s.vecs, st.t[i])
+			st.t[i] = nil
+		}
+	}
+	st.t = st.t[:0]
+	s.ints = append(s.ints, st.basis)
+	s.vecs = append(s.vecs, st.xB, st.colLo, st.colHi, st.cost, st.objRow)
+	s.bools = append(s.bools, st.atUpper, st.inBasis)
+	st.basis, st.xB, st.colLo, st.colHi, st.cost, st.objRow = nil, nil, nil, nil, nil, nil
+	st.atUpper, st.inBasis = nil, nil
+	s.states = append(s.states, st)
+}
+
 // solveLP minimizes the model objective over the LP relaxation with the
 // given per-variable bounds, using a bounded-variable primal simplex on a
 // dense tableau. Rows that start infeasible (possible once branching fixes
@@ -33,23 +189,36 @@ type lpResult struct {
 // time limit and cancellation hold even when a single relaxation is
 // expensive.
 func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64, deadline time.Time) lpResult {
+	scr := getScratch()
+	res, st := m.solveLPCold(ctx, cons, lo, hi, deadline, scr)
+	scr.free(st)
+	putScratch(scr)
+	return res
+}
+
+// solveLPCold is solveLP building the tableau from the all-slack basis; it
+// returns the final state alongside the result so branch-and-bound can
+// detach it as a warm-start snapshot for child nodes. The caller owns the
+// returned state and must scr.free it (or detach it) eventually.
+func (m *Model) solveLPCold(ctx context.Context, cons []constraint, lo, hi []float64, deadline time.Time, scr *lpScratch) (lpResult, *lpState) {
 	// Fault seam: an injected error reports this relaxation infeasible (the
 	// node is pruned; at the root the whole solve turns infeasible), a delay
 	// stretches the relaxation past the branch-and-bound deadline.
 	if err := faultinject.Fire(ctx, faultinject.Simplex); err != nil {
-		return lpResult{status: lpInfeasible}
+		return lpResult{status: lpInfeasible}, nil
 	}
 	n := len(m.obj)
 	rows := len(cons)
 	if n == 0 {
-		return lpResult{status: lpOptimal, x: nil, obj: 0}
+		return lpResult{status: lpOptimal, x: nil, obj: 0}, nil
 	}
 
 	// Column layout: [0,n) structural, [n,n+rows) slack, then artificials.
 	// Bounds per column; artificials and slacks are [0, +inf).
 	ncols := n + rows
-	colLo := make([]float64, ncols, ncols+rows)
-	colHi := make([]float64, ncols, ncols+rows)
+	st := scr.newState(n, rows, ncols)
+	colLo := st.colLo
+	colHi := st.colHi
 	copy(colLo, lo)
 	copy(colHi, hi)
 	for j := n; j < ncols; j++ {
@@ -63,14 +232,14 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 	}
 	bigM *= 1e4
 
-	cost := make([]float64, ncols, ncols+rows)
+	cost := st.cost
 	copy(cost, m.obj)
 
 	// Dense tableau rows plus initial basic values.
-	t := make([][]float64, rows)
-	basis := make([]int, rows)
-	xB := make([]float64, rows)
-	atUpper := make([]bool, ncols, ncols+rows)
+	t := st.t
+	basis := st.basis
+	xB := st.xB
+	atUpper := st.atUpper
 	for j := 0; j < n; j++ {
 		// Start nonbasic structurals at the bound nearer the objective
 		// descent direction to reduce iterations.
@@ -89,7 +258,8 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 	}
 
 	for i, con := range cons {
-		row := make([]float64, ncols, ncols+rows)
+		row := t[i]
+		t[i] = nil // mark unfilled for the artificial-extension pass
 		for _, tm := range con.terms {
 			row[tm.Var] += tm.Coef
 		}
@@ -135,15 +305,24 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 			t[i] = append(t[i], 0)
 		}
 	}
+	st.ncols = ncols
+	st.colLo, st.colHi, st.cost, st.atUpper = colLo, colHi, cost, atUpper
 
-	inBasis := make([]bool, ncols)
+	inBasis := st.inBasis
+	for len(inBasis) < ncols {
+		inBasis = append(inBasis, false)
+	}
 	for _, b := range basis {
 		inBasis[b] = true
 	}
+	st.inBasis = inBasis
 
 	// Objective row (reduced costs): d_j = c_j - c_B' T_j, maintained by
 	// pivoting alongside the tableau.
-	objRow := make([]float64, ncols)
+	objRow := st.objRow
+	for len(objRow) < ncols {
+		objRow = append(objRow, 0)
+	}
 	copy(objRow, cost)
 	for i, b := range basis {
 		cb := cost[b]
@@ -154,20 +333,39 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 			objRow[j] -= cb * t[i][j]
 		}
 	}
+	st.objRow = objRow
+
+	status, iter := st.primal(ctx, deadline, 0)
+	if status != lpOptimal {
+		return lpResult{status: status, iters: iter}, st
+	}
+	return st.extract(m, iter), st
+}
+
+// primal runs the bounded-variable primal simplex loop on the state until
+// optimality, iteration limit, deadline, or cancellation. It returns the
+// terminal status (lpOptimal or lpIterLimit) and the iteration count,
+// starting from startIter (warm solves have already spent dual pivots).
+func (st *lpState) primal(ctx context.Context, deadline time.Time, startIter int) (lpStatus, int) {
+	n, rows, ncols := st.n, st.rows, st.ncols
+	t, basis, xB := st.t, st.basis, st.xB
+	atUpper, inBasis := st.atUpper, st.inBasis
+	colLo, colHi, objRow := st.colLo, st.colHi, st.objRow
+	nbVal := st.nbVal
 
 	maxIter := 200 * (rows + ncols + 10)
 	blandAfter := 20 * (rows + ncols + 10)
-	iter := 0
+	iter := startIter
 	for ; ; iter++ {
 		if iter > maxIter {
-			return lpResult{status: lpIterLimit, iters: iter}
+			return lpIterLimit, iter
 		}
 		if iter%64 == 63 {
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				return lpResult{status: lpIterLimit, iters: iter}
+				return lpIterLimit, iter
 			}
 			if ctx.Err() != nil {
-				return lpResult{status: lpIterLimit, iters: iter}
+				return lpIterLimit, iter
 			}
 		}
 		useBland := iter > blandAfter
@@ -238,7 +436,7 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		if math.IsInf(tstep, 1) {
 			// Unbounded descent cannot happen with bounded structurals and
 			// slack-only rays; treat as numeric trouble.
-			return lpResult{status: lpIterLimit, iters: iter}
+			return lpIterLimit, iter
 		}
 
 		if leave == -1 {
@@ -266,48 +464,62 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		inBasis[enter] = true
 		xB[leave] = newVal
 
-		piv := t[leave][enter]
-		prow := t[leave]
-		invPiv := 1 / piv
-		for j := 0; j < ncols; j++ {
-			prow[j] *= invPiv
-		}
-		for i := 0; i < rows; i++ {
-			if i == leave {
-				continue
-			}
-			f := t[i][enter]
-			if f == 0 {
-				continue
-			}
-			ri := t[i]
-			for j := 0; j < ncols; j++ {
-				ri[j] -= f * prow[j]
-			}
-			ri[enter] = 0 // exact zero against drift
-		}
-		if f := objRow[enter]; f != 0 {
-			for j := 0; j < ncols; j++ {
-				objRow[j] -= f * prow[j]
-			}
-			objRow[enter] = 0
-		}
+		st.pivot(leave, enter)
 	}
+	_ = n
+	return lpOptimal, iter
+}
 
-	// Feasibility check: any artificial still carrying value means the
-	// constraints cannot be satisfied under the given bounds.
+// pivot performs the tableau row reduction making column enter basic in row
+// leave, updating the reduced-cost row alongside.
+func (st *lpState) pivot(leave, enter int) {
+	t, objRow, ncols := st.t, st.objRow, st.ncols
+	piv := t[leave][enter]
+	prow := t[leave]
+	invPiv := 1 / piv
+	for j := 0; j < ncols; j++ {
+		prow[j] *= invPiv
+	}
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		for j := 0; j < ncols; j++ {
+			ri[j] -= f * prow[j]
+		}
+		ri[enter] = 0 // exact zero against drift
+	}
+	if f := objRow[enter]; f != 0 {
+		for j := 0; j < ncols; j++ {
+			objRow[j] -= f * prow[j]
+		}
+		objRow[enter] = 0
+	}
+}
+
+// extract reads the structural solution off an optimal state. Any
+// artificial still carrying value means the constraints cannot be satisfied
+// under the given bounds.
+func (st *lpState) extract(m *Model, iter int) lpResult {
+	n, rows := st.n, st.rows
 	x := make([]float64, n)
 	for j := 0; j < n; j++ {
-		x[j] = nbVal(j)
+		x[j] = st.nbVal(j)
 	}
-	for i, b := range basis {
+	for i, b := range st.basis {
 		if b < n {
-			x[b] = xB[i]
-		} else if b >= n+rows && xB[i] > 1e-6 {
+			x[b] = st.xB[i]
+		} else if b >= n+rows && st.xB[i] > 1e-6 {
 			return lpResult{status: lpInfeasible, iters: iter}
 		}
 	}
 	obj := 0.0
+	lo, hi := st.colLo, st.colHi
 	for j := 0; j < n; j++ {
 		// Clamp tiny numeric drift back into bounds.
 		if x[j] < lo[j] {
@@ -319,4 +531,268 @@ func (m *Model) solveLP(ctx context.Context, cons []constraint, lo, hi []float64
 		obj += m.obj[j] * x[j]
 	}
 	return lpResult{status: lpOptimal, x: x, obj: obj, iters: iter}
+}
+
+// solveLPWarm re-solves the relaxation under tightened bounds starting from
+// a parent node's final basis: the parent tableau is still valid (same rows,
+// same basis), only the basic values move, and branching only tightens
+// bounds so the parent's optimal basis stays dual feasible. A short dual
+// simplex restores primal feasibility, then the shared primal loop confirms
+// optimality. Returns ok=false when the snapshot does not apply (row count
+// changed, an artificial is basic, numeric trouble) — the caller falls back
+// to a cold solve, which also owns infeasibility detection.
+func (m *Model) solveLPWarm(ctx context.Context, cons []constraint, lo, hi []float64, deadline time.Time, src *lpState, scr *lpScratch) (lpResult, *lpState, bool) {
+	if err := faultinject.Fire(ctx, faultinject.Simplex); err != nil {
+		return lpResult{status: lpInfeasible}, nil, true
+	}
+	n := len(m.obj)
+	rows := len(cons)
+	if src == nil || src.n != n || src.rows != rows || n == 0 {
+		return lpResult{}, nil, false
+	}
+	ncols := n + rows
+	for _, b := range src.basis {
+		if b >= ncols {
+			return lpResult{}, nil, false // artificial basic in parent
+		}
+	}
+	// Early uniqueness screen on the parent's reduced costs, before paying
+	// for the tableau copy: a zero reduced cost on a column still movable
+	// under the child bounds almost always survives to the child optimum,
+	// where the final certificate would reject the solve anyway. (The final
+	// certificate below remains authoritative; this is a fast filter.)
+	for j := 0; j < ncols; j++ {
+		if src.inBasis[j] {
+			continue
+		}
+		if j < n && lo[j] == hi[j] {
+			continue
+		}
+		if r := src.objRow[j]; r > -uniqueTol && r < uniqueTol {
+			return lpResult{}, nil, false
+		}
+	}
+
+	st := scr.newState(n, rows, ncols)
+	copy(st.basis, src.basis)
+	copy(st.atUpper, src.atUpper[:ncols])
+	for i := range st.t {
+		copy(st.t[i], src.t[i][:ncols])
+	}
+	copy(st.colLo, lo)
+	copy(st.colHi, hi)
+	copy(st.cost, m.obj)
+	for j := n; j < ncols; j++ {
+		st.colHi[j] = inf
+	}
+	for j := 0; j < n; j++ {
+		if lo[j] == hi[j] {
+			st.atUpper[j] = false
+		}
+	}
+	for _, b := range st.basis {
+		st.inBasis[b] = true
+	}
+
+	// Reduced costs for the parent basis (costs unchanged, so this is the
+	// parent's dual-feasible objective row rebuilt in the child's state).
+	copy(st.objRow, st.cost)
+	for i, b := range st.basis {
+		cb := st.cost[b]
+		if cb == 0 {
+			continue
+		}
+		ti := st.t[i]
+		for j := 0; j < ncols; j++ {
+			st.objRow[j] -= cb * ti[j]
+		}
+	}
+	// Dual feasibility must hold exactly (up to drift) for the dual simplex
+	// to apply; bound tightenings cannot break it, but accumulated pivot
+	// error can. Bail to cold when it does.
+	for j := 0; j < ncols; j++ {
+		if st.inBasis[j] || st.colLo[j] == st.colHi[j] {
+			continue
+		}
+		if !st.atUpper[j] && st.objRow[j] < -1e-6 {
+			scr.free(st)
+			return lpResult{}, nil, false
+		}
+		if st.atUpper[j] && st.objRow[j] > 1e-6 {
+			scr.free(st)
+			return lpResult{}, nil, false
+		}
+	}
+
+	// Basic values under the child bounds: xB = B^-1 b - sum_j T_j x_j over
+	// nonbasic columns at non-zero bounds. B^-1 sits in the slack block of
+	// the tableau (slack columns of A form the identity).
+	for i := 0; i < rows; i++ {
+		v := 0.0
+		ti := st.t[i]
+		for k := 0; k < rows; k++ {
+			if r := cons[k].rhs; r != 0 {
+				v += ti[n+k] * r
+			}
+		}
+		st.xB[i] = v
+	}
+	for j := 0; j < n; j++ {
+		if st.inBasis[j] {
+			continue
+		}
+		if v := st.nbVal(j); v != 0 {
+			for i := 0; i < rows; i++ {
+				st.xB[i] -= st.t[i][j] * v
+			}
+		}
+	}
+
+	// Dual simplex: repeatedly drive the most-violated basic variable to its
+	// violated bound, entering the nonbasic column that keeps the objective
+	// row dual feasible (minimum ratio).
+	maxIter := 100 * (rows + ncols + 10)
+	iter := 0
+	for ; ; iter++ {
+		if iter > maxIter {
+			scr.free(st)
+			return lpResult{}, nil, false
+		}
+		if iter%64 == 63 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				scr.free(st)
+				return lpResult{}, nil, false
+			}
+			if ctx.Err() != nil {
+				scr.free(st)
+				return lpResult{}, nil, false
+			}
+		}
+		leave, worst := -1, tol
+		below := false
+		for i := 0; i < rows; i++ {
+			b := st.basis[i]
+			if d := st.colLo[b] - st.xB[i]; d > worst {
+				leave, worst, below = i, d, true
+			}
+			if d := st.xB[i] - st.colHi[b]; d > worst {
+				leave, worst, below = i, d, false
+			}
+		}
+		if leave == -1 {
+			break // primal feasible
+		}
+		b := st.basis[leave]
+		beta := st.colHi[b]
+		if below {
+			beta = st.colLo[b]
+		}
+		tr := st.t[leave]
+		// Entering column: admissible sign moves x_b toward beta; minimum
+		// reduced-cost ratio preserves dual feasibility; ties take the
+		// smallest column index (deterministic).
+		enter := -1
+		bestRatio := inf
+		for j := 0; j < ncols; j++ {
+			if st.inBasis[j] || st.colLo[j] == st.colHi[j] {
+				continue
+			}
+			c := tr[j]
+			if c > -tol && c < tol {
+				continue
+			}
+			// Moving x_j by delta changes x_b by -c*delta; x_j at its lower
+			// bound may only increase, at its upper only decrease.
+			var ok bool
+			if !st.atUpper[j] {
+				ok = (below && c < 0) || (!below && c > 0)
+			} else {
+				ok = (below && c > 0) || (!below && c < 0)
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(st.objRow[j] / c)
+			if ratio < bestRatio-tol {
+				bestRatio, enter = ratio, j
+			}
+		}
+		if enter == -1 {
+			// Dual unbounded means primal infeasible. Declaring it here is
+			// safe only when the certificate is exact: the bound violation
+			// clears the decision guard and every admissible-direction
+			// coefficient in the leaving row is exactly zero (common — these
+			// models pivot on small dyadic rationals). The caller prunes the
+			// node either way, so the search stays bit-identical to cold. A
+			// nonzero sub-tolerance coefficient or a knife-edge violation
+			// could classify differently under Big-M; those fall back cold.
+			if worst > 1e-6 {
+				exact := true
+				for j := 0; j < ncols && exact; j++ {
+					if st.inBasis[j] || st.colLo[j] == st.colHi[j] {
+						continue
+					}
+					c := tr[j]
+					if c == 0 || c <= -tol || c >= tol {
+						continue
+					}
+					if !st.atUpper[j] {
+						if (below && c < 0) || (!below && c > 0) {
+							exact = false
+						}
+					} else if (below && c > 0) || (!below && c < 0) {
+						exact = false
+					}
+				}
+				if exact {
+					scr.free(st)
+					return lpResult{status: lpInfeasible, iters: iter}, nil, true
+				}
+			}
+			scr.free(st)
+			return lpResult{}, nil, false
+		}
+		delta := (st.xB[leave] - beta) / tr[enter]
+		newVal := st.nbVal(enter) + delta
+		for i := 0; i < rows; i++ {
+			if i != leave {
+				st.xB[i] -= st.t[i][enter] * delta
+			}
+		}
+		st.inBasis[b] = false
+		st.atUpper[b] = !below
+		st.basis[leave] = enter
+		st.inBasis[enter] = true
+		st.xB[leave] = newVal
+		st.pivot(leave, enter)
+	}
+
+	status, iters := st.primal(ctx, deadline, iter)
+	if status != lpOptimal {
+		// A warm start must never degrade the search: retry cold.
+		scr.free(st)
+		return lpResult{}, nil, false
+	}
+	// Vertex-uniqueness certificate: a zero reduced cost on any movable
+	// nonbasic column means alternative optima exist, and the cold solve's
+	// tie-breaking could land on a different one — which would steer
+	// branching differently and break bit-identity with cold search. Only a
+	// certified-unique optimum is safe to hand back.
+	for j := 0; j < ncols; j++ {
+		if st.inBasis[j] || st.colLo[j] == st.colHi[j] {
+			continue
+		}
+		if r := st.objRow[j]; r > -uniqueTol && r < uniqueTol {
+			scr.free(st)
+			return lpResult{}, nil, false
+		}
+	}
+	res := st.extract(m, iters)
+	if res.status != lpOptimal {
+		// Extraction can only reject via artificials, which the warm path
+		// has none of; keep the guard anyway.
+		scr.free(st)
+		return lpResult{}, nil, false
+	}
+	return res, st, true
 }

@@ -1,0 +1,185 @@
+package ilp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sweepModel draws a random selection model: groups of binary candidates
+// (SOS-branched, at least one required), plus random capacity rows — half
+// eager, half lazy to exercise the warm-snapshot invalidation on lazy
+// activation. Integer costs (every other trial) manufacture the degenerate
+// ties that force the warm path's uniqueness certificate to defer to cold.
+func sweepModel(trial int) *Model {
+	rng := rand.New(rand.NewSource(int64(trial)))
+	nGroups := 3 + rng.Intn(4)
+	per := 2 + rng.Intn(2)
+	m := NewModel(nGroups * per)
+	groups := make([][]int, nGroups)
+	for g := 0; g < nGroups; g++ {
+		vars := make([]int, per)
+		terms := make([]Term, per)
+		for k := 0; k < per; k++ {
+			v := g*per + k
+			cost := 1 + rng.Float64()*10
+			if trial%2 == 0 {
+				cost = float64(1 + rng.Intn(6)) // integral: degenerate ties
+			}
+			m.SetObj(v, cost)
+			m.SetInteger(v)
+			vars[k] = v
+			terms[k] = Term{Var: v, Coef: -1}
+		}
+		groups[g] = vars
+		m.AddSOS(vars)
+		m.AddConstraint(terms, -1) // select at least one per group
+	}
+	for e := 0; e < nGroups*2; e++ {
+		terms := make([]Term, 0, nGroups)
+		for _, vars := range groups {
+			terms = append(terms, Term{Var: vars[rng.Intn(len(vars))], Coef: 1})
+		}
+		rhs := float64(1 + rng.Intn(2))
+		if e%2 == 0 {
+			m.AddLazyConstraint(terms, rhs)
+		} else {
+			m.AddConstraint(terms, rhs)
+		}
+	}
+	return m
+}
+
+// sameResult compares two solve results bit-for-bit (runtime excluded).
+func sameResult(t *testing.T, trial int, warm, cold Result) {
+	t.Helper()
+	if warm.Status != cold.Status {
+		t.Fatalf("trial %d: status warm=%v cold=%v", trial, warm.Status, cold.Status)
+	}
+	if math.Float64bits(warm.Obj) != math.Float64bits(cold.Obj) {
+		t.Fatalf("trial %d: obj warm=%x cold=%x", trial, math.Float64bits(warm.Obj), math.Float64bits(cold.Obj))
+	}
+	if warm.Nodes != cold.Nodes {
+		t.Fatalf("trial %d: nodes warm=%d cold=%d (search trajectories diverged)", trial, warm.Nodes, cold.Nodes)
+	}
+	if len(warm.X) != len(cold.X) {
+		t.Fatalf("trial %d: |X| warm=%d cold=%d", trial, len(warm.X), len(cold.X))
+	}
+	for i := range warm.X {
+		if math.Float64bits(warm.X[i]) != math.Float64bits(cold.X[i]) {
+			t.Fatalf("trial %d: X[%d] warm=%v cold=%v", trial, i, warm.X[i], cold.X[i])
+		}
+	}
+}
+
+// TestWarmVsColdSweep proves warm-started branch and bound is bit-identical
+// to the cold solver on 300 randomized selection models: same status,
+// objective bits, solution bits, and node count (identical trajectories).
+// It also asserts the warm path genuinely engages across the sweep — a
+// certificate so strict it never fires would make this suite vacuous.
+func TestWarmVsColdSweep(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 30
+	}
+	warmTotal := int64(0)
+	for trial := 0; trial < trials; trial++ {
+		m := sweepModel(trial)
+		rec := obs.NewRecorder()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		warm := Solve(m, SolveOptions{Ctx: ctx})
+		cold := Solve(m, SolveOptions{DisableWarmLP: true})
+		sameResult(t, trial, warm, cold)
+		warmTotal += rec.Counters()["ilp.lp.warm"]
+	}
+	if warmTotal == 0 {
+		t.Fatal("warm path never engaged across the sweep")
+	}
+	t.Logf("warm solves across sweep: %d", warmTotal)
+}
+
+// sweepModelFloat draws a harder variant: fractional capacity coefficients
+// and right-hand sides, no lazy rows. Pivoting on these produces genuinely
+// inexact arithmetic (unlike the ±1 models above, whose pivots stay on
+// dyadic rationals), with deep search trees — the regime that exposed a
+// divergence in an early exact-tie relaxation of the decision guard.
+func sweepModelFloat(trial int) *Model {
+	rng := rand.New(rand.NewSource(int64(10_000 + trial)))
+	nGroups, per := 8, 3
+	m := NewModel(nGroups * per)
+	groups := make([][]int, nGroups)
+	for g := 0; g < nGroups; g++ {
+		vars := make([]int, per)
+		terms := make([]Term, per)
+		for k := 0; k < per; k++ {
+			v := g*per + k
+			m.SetObj(v, 1+rng.Float64()*10)
+			m.SetInteger(v)
+			vars[k] = v
+			terms[k] = Term{Var: v, Coef: -1}
+		}
+		groups[g] = vars
+		m.AddSOS(vars)
+		m.AddConstraint(terms, -1)
+	}
+	for e := 0; e < nGroups; e++ {
+		terms := make([]Term, 0, nGroups)
+		for _, vars := range groups {
+			terms = append(terms, Term{Var: vars[rng.Intn(len(vars))], Coef: 1 + rng.Float64()})
+		}
+		m.AddConstraint(terms, 2+rng.Float64()*2)
+	}
+	return m
+}
+
+// TestWarmVsColdSweepFloatCaps repeats the bit-identity sweep on the
+// fractional-coefficient models, where cross-solve noise is real and the
+// dual-simplex infeasibility certificate carries most of the warm traffic.
+func TestWarmVsColdSweepFloatCaps(t *testing.T) {
+	trials := 100
+	if testing.Short() {
+		trials = 15
+	}
+	warmTotal := int64(0)
+	for trial := 0; trial < trials; trial++ {
+		m := sweepModelFloat(trial)
+		rec := obs.NewRecorder()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		warm := Solve(m, SolveOptions{Ctx: ctx})
+		cold := Solve(m, SolveOptions{DisableWarmLP: true})
+		sameResult(t, trial, warm, cold)
+		warmTotal += rec.Counters()["ilp.lp.warm"]
+	}
+	if warmTotal == 0 {
+		t.Fatal("warm path never engaged across the float-cap sweep")
+	}
+	t.Logf("warm solves across float-cap sweep: %d", warmTotal)
+}
+
+// TestWarmCancellationMidSolve cancels solves at staggered points with the
+// warm path active: every run must come back with a sane status, and the
+// pooled scratch must come out clean — a fresh solve afterwards still
+// matches the cold reference bit-for-bit.
+func TestWarmCancellationMidSolve(t *testing.T) {
+	m := sweepModel(101)
+	ref := Solve(m, SolveOptions{DisableWarmLP: true})
+	for trial := 0; trial < 25; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(trial%5) * 100 * time.Microsecond)
+		// Any terminal status is legitimate — a cancel landing inside the
+		// root relaxation surfaces as an infeasible root (seed semantics);
+		// what matters is that the solver neither panics nor corrupts the
+		// pooled scratch it hands back.
+		_ = Solve(m, SolveOptions{Ctx: ctx})
+		cancel()
+		clean := Solve(m, SolveOptions{})
+		sameResult(t, trial, clean, ref)
+	}
+}

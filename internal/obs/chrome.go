@@ -88,6 +88,31 @@ func (rep Report) WriteChromeTrace(w io.Writer) error {
 	})
 	assignLanes(entries)
 
+	// Counters are end-of-run totals, not timed samples, so they export as
+	// Chrome counter events ("C") at the report's final timestamp: viewers
+	// render them as a closing value track, and appending after lane
+	// assignment keeps them from perturbing span lanes.
+	if len(rep.Counters) > 0 {
+		var endTS int64
+		for _, e := range entries {
+			if t := e.TS + e.Dur; t > endTS {
+				endTS = t
+			}
+		}
+		names := make([]string, 0, len(rep.Counters))
+		for name := range rep.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			entries = append(entries, chromeEvent{
+				Name: name, Cat: "counter", Ph: "C",
+				TS: endTS, PID: 1,
+				Args: map[string]any{"value": rep.Counters[name]},
+			})
+		}
+	}
+
 	file := chromeFile{
 		TraceEvents: append([]chromeEvent{{
 			Name: "process_name", Ph: "M", PID: 1,

@@ -157,6 +157,36 @@ func TestWriteChromeTraceGolden(t *testing.T) {
 	}
 }
 
+// TestWriteChromeTraceCounters pins the counter export: end-of-run totals
+// become "C" events at the report's final timestamp, sorted by name, after
+// all span/trace entries.
+func TestWriteChromeTraceCounters(t *testing.T) {
+	rep := Report{
+		Spans: []SpanRecord{
+			{Name: "solve.pd", StartUS: 0, DurUS: 100},
+		},
+		Counters: map[string]int64{
+			"ilp.lp.warm":           7,
+			"ilp.lp.cold":           3,
+			"build.arena.pool.gets": 42,
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":0,"args":{"name":"streak"}},` +
+		`{"name":"solve.pd","cat":"stage","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},` +
+		`{"name":"build.arena.pool.gets","cat":"counter","ph":"C","ts":100,"dur":0,"pid":1,"tid":0,"args":{"value":42}},` +
+		`{"name":"ilp.lp.cold","cat":"counter","ph":"C","ts":100,"dur":0,"pid":1,"tid":0,"args":{"value":3}},` +
+		`{"name":"ilp.lp.warm","cat":"counter","ph":"C","ts":100,"dur":0,"pid":1,"tid":0,"args":{"value":7}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace with counters:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestWriteChromeTraceNesting checks the lane invariant on a busier
 // synthetic report: the output is valid JSON, every lane's complete events
 // are properly nested (no partial overlap on one tid), and events that fall

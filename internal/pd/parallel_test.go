@@ -65,10 +65,8 @@ func TestPruneParallelMatchesSequential(t *testing.T) {
 	}
 	u := grid.NewUsage(p.Grid)
 	// Saturate one edge used by some candidate so the prune has work.
-	for k := range p.Cands[0][0].Usage {
-		u.Add(k.Layer, k.Idx, p.Grid.Layers[k.Layer].Cap)
-		break
-	}
+	e := p.Cands[0][0].Edges[0]
+	u.Add(int(e.Layer), int(e.Idx), p.Grid.Layers[e.Layer].Cap)
 	seq, par := mkAlive(), mkAlive()
 	pruneParallel(p, u, seq, refs, 1)
 	pruneParallel(p, u, par, refs, 8)

@@ -18,7 +18,6 @@ import (
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/route"
-	"repro/internal/topo"
 )
 
 // Result carries the primal-dual outcome.
@@ -64,7 +63,12 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 	}
 	n := len(p.Objects)
 	a := p.NewAssignment()
-	u := grid.NewUsage(p.Grid)
+	pool := p.UsagePool()
+	// Counter snapshot precedes the first Get so the solve's own
+	// acquisitions are part of the reported delta.
+	poolGets0, poolFresh0 := pool.Counters()
+	u := pool.Get()
+	defer pool.Put(u)
 
 	// alive[i][j] reports whether candidate j of object i is still primal
 	// feasible under the residual capacities (line 9 prunes these).
@@ -77,18 +81,17 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 		}
 	}
 
-	// edgeUsers lets us re-check only candidates that touch edges whose
-	// capacity changed, instead of the whole candidate universe.
-	edgeUsers := make(map[topo.EdgeKey][]candRef)
-	for i := range p.Cands {
-		for j := range p.Cands[i] {
-			for k := range p.Cands[i][j].Usage {
-				edgeUsers[k] = append(edgeUsers[k], candRef{i, j})
-			}
-		}
-	}
+	// The edge-user index lets us re-check only candidates that touch edges
+	// whose capacity changed, instead of the whole candidate universe. It is
+	// a CSR over global edge ids (layer offset + dense index): one counting
+	// pass, one prefix sum, one fill — no per-edge map buckets.
+	idx := newEdgeIndex(p)
 	workers := p.Opt.WorkerCount()
 	var pruneRefs []candRef // reused across commits
+	// mark dedups the recheck set per commit: mark[cand global id] == epoch
+	// means the candidate is already queued this round.
+	mark := make([]int32, idx.numCands)
+	epoch := int32(0)
 
 	iterations := 0
 	rec := obs.FromContext(ctx)
@@ -101,6 +104,9 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 		rec.Add("pd.routed", int64(a.RoutedObjects()))
 		rec.Add("pd.prune.checked", pruneChecked)
 		rec.Add("pd.prune.survivors", pruneSurvivors)
+		gets, fresh := pool.Counters()
+		rec.Add("pd.usage.pool.gets", gets-poolGets0)
+		rec.Add("pd.usage.pool.fresh", fresh-poolFresh0)
 	}()
 	// Traced solves track the (3a) objective incrementally: it starts at n*M
 	// (everything unrouted) and each commit replaces one M with the
@@ -194,27 +200,28 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 		// later commits can over-subscribe the edges this candidate uses —
 		// the independent legality audit must catch the resulting overflow.
 		corrupted := faultinject.Corrupt(ctx, faultinject.PDCapacity)
-		touched := make(map[topo.EdgeKey]bool)
-		for k, need := range p.Cands[bestI][bestJ].Usage {
-			if !corrupted {
-				u.Add(k.Layer, k.Idx, need)
+		if !corrupted {
+			for _, e := range p.Cands[bestI][bestJ].Edges {
+				u.Add(int(e.Layer), int(e.Idx), int(e.N))
 			}
-			touched[k] = true
 		}
 
 		// Line 9: prune candidates the capacity update made infeasible;
-		// lines 10-12: objects whose sets emptied become unrouted.
-		recheck := make(map[candRef]bool)
-		for k := range touched {
-			for _, ref := range edgeUsers[k] {
-				if !done[ref.i] && alive[ref.i][ref.j] {
-					recheck[ref] = true
-				}
-			}
-		}
+		// lines 10-12: objects whose sets emptied become unrouted. The
+		// recheck set is the union of the CSR rows of the touched edges,
+		// epoch-deduped (a candidate sharing several edges is checked once).
+		epoch++
 		pruneRefs = pruneRefs[:0]
-		for ref := range recheck {
-			pruneRefs = append(pruneRefs, ref)
+		for _, e := range p.Cands[bestI][bestJ].Edges {
+			gid := idx.layerOff[e.Layer] + e.Idx
+			for _, cid := range idx.users[idx.rowStart[gid]:idx.rowStart[gid+1]] {
+				ref := idx.refs[cid]
+				if done[ref.i] || !alive[ref.i][ref.j] || mark[cid] == epoch {
+					continue
+				}
+				mark[cid] = epoch
+				pruneRefs = append(pruneRefs, ref)
+			}
 		}
 		pruneParallel(p, u, alive, pruneRefs, workers)
 		if rec != nil {
@@ -265,6 +272,62 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 
 // candRef addresses candidate j of object i.
 type candRef struct{ i, j int }
+
+// edgeIndex is the edge-to-candidate-users index behind the prune step, in
+// CSR form over global edge ids (per-layer offset plus dense edge index)
+// with candidates numbered globally: one counting pass, one prefix sum, one
+// fill — no per-edge map buckets, and row lookups are two array reads.
+type edgeIndex struct {
+	layerOff []int32   // layer l's edges start at global id layerOff[l]
+	rowStart []int32   // CSR row boundaries, len = total edges + 1
+	users    []int32   // concatenated rows of candidate global ids
+	refs     []candRef // candidate global id -> (object, candidate)
+	numCands int
+}
+
+func newEdgeIndex(p *route.Problem) *edgeIndex {
+	g := p.Grid
+	layerOff := make([]int32, len(g.Layers)+1)
+	for l := range g.Layers {
+		layerOff[l+1] = layerOff[l] + int32(g.EdgeCount(l))
+	}
+	total := int(layerOff[len(g.Layers)])
+	numCands := 0
+	for i := range p.Cands {
+		numCands += len(p.Cands[i])
+	}
+	idx := &edgeIndex{
+		layerOff: layerOff,
+		rowStart: make([]int32, total+1),
+		refs:     make([]candRef, 0, numCands),
+		numCands: numCands,
+	}
+	for i := range p.Cands {
+		for j := range p.Cands[i] {
+			idx.refs = append(idx.refs, candRef{i, j})
+			for _, e := range p.Cands[i][j].Edges {
+				idx.rowStart[layerOff[e.Layer]+e.Idx+1]++
+			}
+		}
+	}
+	for k := 1; k <= total; k++ {
+		idx.rowStart[k] += idx.rowStart[k-1]
+	}
+	idx.users = make([]int32, idx.rowStart[total])
+	cursor := append([]int32(nil), idx.rowStart[:total]...)
+	cid := int32(0)
+	for i := range p.Cands {
+		for j := range p.Cands[i] {
+			for _, e := range p.Cands[i][j].Edges {
+				gid := layerOff[e.Layer] + e.Idx
+				idx.users[cursor[gid]] = cid
+				cursor[gid]++
+			}
+			cid++
+		}
+	}
+	return idx
+}
 
 // pruneParallel re-checks the feasibility of the given candidates against
 // the residual capacities and kills the ones that no longer fit,

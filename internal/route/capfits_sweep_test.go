@@ -1,0 +1,98 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// refCandidateFits is the pre-bitset reference: walk every edge the
+// candidate occupies and check remaining capacity scalar-by-scalar. The
+// word-mask fast path in CandidateFits must agree with this on every
+// reachable tracker state.
+func refCandidateFits(p *Problem, i, j int, u *grid.Usage) bool {
+	for _, e := range p.Cands[i][j].Edges {
+		if u.Avail(int(e.Layer), int(e.Idx)) < int(e.N) {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepSpec draws a small randomized design; the seed drives benchgen's
+// internal randomness so every trial sees different pin placements.
+func sweepSpec(trial int) benchgen.Spec {
+	return benchgen.Spec{
+		Name: "capfits-sweep", Seed: int64(1000 + trial),
+		W: 24, H: 20, NumLayers: 4, EdgeCap: 1 + trial%3,
+		NumGroups: 3, AvgWidth: 3, MaxWidth: 4, MaxPins: 2, Pitch: 1,
+	}
+}
+
+// TestCandidateFitsMatchesReferenceWalk cross-checks the bitset capacity
+// kernel against the scalar reference on 300 randomized problems, each
+// probed under several tracker states: empty, partially committed, edge
+// saturated and oversubscribed, usage removed again, and after region
+// capacity changes (which force the lazy blocked-bitset resync).
+func TestCandidateFitsMatchesReferenceWalk(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 30
+	}
+	checkAll := func(trial int, p *Problem, u *grid.Usage, stage string) {
+		t.Helper()
+		for i := range p.Cands {
+			for j := range p.Cands[i] {
+				got := p.CandidateFits(i, j, u)
+				want := refCandidateFits(p, i, j, u)
+				if got != want {
+					t.Fatalf("trial %d %s: CandidateFits(%d,%d)=%v reference=%v", trial, stage, i, j, got, want)
+				}
+			}
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		p, err := Build(sweepSpec(trial).Generate(), Options{})
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		pool := p.UsagePool()
+		u := pool.Get()
+
+		checkAll(trial, p, u, "empty")
+
+		// Commit a random partial assignment.
+		a := p.NewAssignment()
+		for i := range a.Choice {
+			if rng.Intn(2) == 0 {
+				a.Choice[i] = rng.Intn(len(p.Cands[i]))
+			}
+		}
+		p.AddUsage(a, u, 1)
+		checkAll(trial, p, u, "committed")
+
+		// Saturate and oversubscribe a few random edges directly.
+		for k := 0; k < 4; k++ {
+			l := rng.Intn(len(p.Grid.Layers))
+			if n := p.Grid.EdgeCount(l); n > 0 {
+				u.Add(l, rng.Intn(n), 1+rng.Intn(3))
+			}
+		}
+		checkAll(trial, p, u, "saturated")
+
+		// Capacity changes bump the grid generation; the bitset must resync.
+		l := rng.Intn(len(p.Grid.Layers))
+		p.Grid.SetRegionCap(l, geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)}, rng.Intn(3))
+		checkAll(trial, p, u, "recapped")
+
+		// Removal must clear blocked bits as capacity frees up again.
+		p.AddUsage(a, u, -1)
+		checkAll(trial, p, u, "removed")
+
+		pool.Put(u)
+	}
+}

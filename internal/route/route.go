@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/faultinject"
@@ -99,6 +100,19 @@ type Problem struct {
 	// bit's position within it, replacing the linear all-objects scan that
 	// metrics and refinement performed per bit.
 	bitObj map[[2]int]bitRef
+
+	// usagePool hands out pooled Usage trackers for Grid (see UsagePool).
+	usagePool *grid.UsagePool
+	poolOnce  sync.Once
+}
+
+// UsagePool returns the problem's shared pool of Usage trackers for Grid.
+// Solvers draw per-solve scratch from it so steady-state serving (streakd
+// answering request after request on one problem) reuses the per-layer edge
+// arrays instead of reallocating them every solve. Safe for concurrent use.
+func (p *Problem) UsagePool() *grid.UsagePool {
+	p.poolOnce.Do(func() { p.usagePool = grid.NewUsagePool(p.Grid) })
+	return p.usagePool
 }
 
 // bitRef locates one bit inside the object list: object index plus the
@@ -150,6 +164,10 @@ func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, err
 	workers := opt.WorkerCount()
 	p.Cands = make([][]topo.Candidate, len(p.Objects))
 	rec := obs.FromContext(ctx)
+	var arenaGets0, arenaFresh0 int64
+	if rec != nil {
+		arenaGets0, arenaFresh0 = geom.ArenaCounters()
+	}
 	err := obs.Do(ctx, obs.StageBuild, workers, func(ctx context.Context) error {
 		return parallelFor(ctx, workers, len(p.Objects), func(i int) {
 			obj := &p.Objects[i]
@@ -185,6 +203,13 @@ func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, err
 		}
 		rec.Add("build.objects", int64(len(p.Objects)))
 		rec.Add("build.candidates", int64(total))
+		// Pooled-vs-fresh geometry-arena split for this build. The global
+		// counters are shared across concurrent builds, so the deltas are
+		// attributions, not exact per-build counts; in the common one-build-
+		// per-recorder case they are exact.
+		gets1, fresh1 := geom.ArenaCounters()
+		rec.Add("build.arena.pool.gets", gets1-arenaGets0)
+		rec.Add("build.arena.pool.fresh", fresh1-arenaFresh0)
 	}
 	p.indexBits()
 	if err := obs.Do(ctx, obs.StageKernel, workers, func(ctx context.Context) error {
@@ -346,8 +371,8 @@ func (p *Problem) AddUsage(a Assignment, u *grid.Usage, delta int) {
 		if c < 0 {
 			continue
 		}
-		for k, n := range p.Cands[i][c].Usage {
-			u.Add(k.Layer, k.Idx, n*delta)
+		for _, e := range p.Cands[i][c].Edges {
+			u.Add(int(e.Layer), int(e.Idx), int(e.N)*delta)
 		}
 	}
 }
@@ -374,10 +399,25 @@ func (p *Problem) Legal(a Assignment) error {
 }
 
 // CandidateFits reports whether candidate j of object i fits the remaining
-// capacity in u.
+// capacity in u. The check intersects the candidate's word masks against
+// the tracker's blocked-edge bitset — O(occupied edges / 64) word-ANDs —
+// and falls back to a scalar availability check only for the (rare) edges
+// needing two or more tracks.
 func (p *Problem) CandidateFits(i, j int, u *grid.Usage) bool {
-	for k, n := range p.Cands[i][j].Usage {
-		if u.Avail(k.Layer, k.Idx) < n {
+	c := &p.Cands[i][j]
+	layer := int32(-1)
+	var words []uint64
+	for _, m := range c.Masks {
+		if m.Layer != layer {
+			layer = m.Layer
+			words = u.BlockedWords(int(layer))
+		}
+		if words[m.Word]&m.Bits != 0 {
+			return false
+		}
+	}
+	for _, e := range c.Heavy {
+		if u.Avail(int(e.Layer), int(e.Idx)) < int(e.N) {
 			return false
 		}
 	}

@@ -7,7 +7,9 @@
 package topo
 
 import (
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -271,9 +273,38 @@ type Candidate struct {
 	Vias int
 	// Cost is WL + ViaWeight * Vias, the c(i,j) of formulation (3).
 	Cost int
-	// Usage maps 3-D edges to the number of tracks this candidate needs,
-	// the u_el(i,j) of constraint (3c).
-	Usage map[EdgeKey]int
+	// Edges lists every 3-D edge the candidate occupies with its track
+	// need — the u_el(i,j) of constraint (3c) — sorted by (Layer, Idx).
+	// All edges of HLayer and VLayer form two contiguous runs.
+	Edges []EdgeUse
+	// Masks is the word-level occupancy view of Edges: per (layer, 64-edge
+	// word) the bits of the occupied edge indices. A candidate fits a usage
+	// state only if every mask ANDs to zero against the state's blocked
+	// bitset (necessary, and also sufficient for edges needing one track).
+	Masks []WordMask
+	// Heavy lists the edges of Edges needing two or more tracks (several
+	// member bits sharing an edge); these keep a scalar availability check
+	// on top of the mask test. Nil for most candidates.
+	Heavy []EdgeUse
+}
+
+// EdgeUse is one 3-D edge requirement of a candidate.
+type EdgeUse struct {
+	// Layer is the metal layer index.
+	Layer int32
+	// Idx is the dense edge index on the layer.
+	Idx int32
+	// N is the number of tracks the candidate needs on the edge.
+	N int32
+}
+
+// WordMask is one 64-edge-wide slice of a candidate's occupancy: Bits has
+// bit (idx & 63) set for every occupied edge idx with idx >> 6 == Word on
+// the layer.
+type WordMask struct {
+	Layer int32
+	Word  int32
+	Bits  uint64
 }
 
 // EdgeKey identifies a 3-D grid edge.
@@ -288,21 +319,184 @@ type EdgeKey struct {
 // enumerating (H layer, V layer) pairs in increasing via-distance order.
 // Candidates whose segments leave the grid are dropped. Results are sorted
 // by Cost.
+//
+// The per-candidate work is layer-independent up to the layer assignment:
+// the 2-D edge footprint, wirelength and bend count of a topology are
+// computed once (into pooled scratch, via the geom arena kernels) and every
+// (H, V) pair then materializes its candidate as two flat edge-run copies —
+// no per-pair tree walks, no per-edge map inserts.
 func Expand3D(gr *grid.Grid, topos []ObjectTopology, opt Options) []Candidate {
 	opt = opt.withDefaults()
 	pairs := layerPairs(gr, opt.MaxLayerPairs)
+	sc := expandPool.Get().(*expandScratch)
+	ar := geom.GetArena()
 	var out []Candidate
-	for ti, ot := range topos {
+	for ti := range topos {
+		ot := &topos[ti]
+		if !sc.precompute2D(gr, ot, ar) {
+			continue
+		}
 		for _, pr := range pairs {
-			c, ok := buildCandidate(gr, ot, pr[0], pr[1], opt)
-			if ok {
-				c.TopoIdx = ti
-				out = append(out, c)
+			hl, vl := pr[0], pr[1]
+			layerDist := iabs(hl - vl)
+			if layerDist == 0 {
+				layerDist = 1
+			}
+			c := Candidate{
+				Topo:    *ot,
+				TopoIdx: ti,
+				HLayer:  hl,
+				VLayer:  vl,
+				WL:      sc.wl,
+				Vias:    sc.bends * layerDist,
+			}
+			c.Cost = c.WL + opt.ViaWeight*c.Vias
+			sc.assemble(&c)
+			out = append(out, c)
+		}
+	}
+	geom.PutArena(ar)
+	expandPool.Put(sc)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// expandScratch is the reusable state behind Expand3D: dense per-direction
+// 2-D edge counters (zeroed via the touched lists after every topology) and
+// the layer-independent footprint of the topology under expansion.
+type expandScratch struct {
+	hCount, vCount     []int32
+	hTouched, vTouched []int32
+	hUse, vUse         []EdgeUse // Layer left 0; filled per pair by assemble
+	masks              []WordMask
+	heavy              int
+	wl, bends          int
+}
+
+var expandPool = sync.Pool{New: func() any { return new(expandScratch) }}
+
+// precompute2D accumulates the layer-independent footprint of ot: per-
+// direction sorted edge runs (2-D dense indices — identical on every layer
+// of the direction), total wirelength and bend count. It reports false,
+// leaving the scratch clean, when any segment leaves the grid — which
+// disqualifies the topology for every layer pair.
+func (sc *expandScratch) precompute2D(gr *grid.Grid, ot *ObjectTopology, ar *geom.Arena) bool {
+	hEdges, vEdges := (gr.W-1)*gr.H, gr.W*(gr.H-1)
+	if len(sc.hCount) < hEdges {
+		sc.hCount = make([]int32, hEdges)
+	}
+	if len(sc.vCount) < vEdges {
+		sc.vCount = make([]int32, vEdges)
+	}
+	sc.hTouched, sc.vTouched = sc.hTouched[:0], sc.vTouched[:0]
+	sc.wl, sc.bends, sc.heavy = 0, 0, 0
+	ok := true
+	for _, t := range ot.BitTrees {
+		if !ok {
+			break
+		}
+		for _, s := range ar.Canon(t.Segs) {
+			// Canonical segments are normalized and non-degenerate, so
+			// direction alone picks the dense 2-D index space (EdgeIndex is
+			// the same formula on every layer of a direction).
+			if s.Horizontal() {
+				if s.A.X < 0 || s.B.X > gr.W-1 || s.A.Y < 0 || s.A.Y > gr.H-1 {
+					ok = false
+					break
+				}
+				base := s.A.Y * (gr.W - 1)
+				for x := s.A.X; x < s.B.X; x++ {
+					idx := int32(base + x)
+					if sc.hCount[idx] == 0 {
+						sc.hTouched = append(sc.hTouched, idx)
+					}
+					sc.hCount[idx]++
+				}
+			} else {
+				if s.A.Y < 0 || s.B.Y > gr.H-1 || s.A.X < 0 || s.A.X > gr.W-1 {
+					ok = false
+					break
+				}
+				for y := s.A.Y; y < s.B.Y; y++ {
+					idx := int32(y*gr.W + s.A.X)
+					if sc.vCount[idx] == 0 {
+						sc.vTouched = append(sc.vTouched, idx)
+					}
+					sc.vCount[idx]++
+				}
+			}
+			sc.wl += s.Len()
+		}
+		sc.bends += ar.Bends(t.Segs)
+	}
+	if !ok {
+		for _, idx := range sc.hTouched {
+			sc.hCount[idx] = 0
+		}
+		for _, idx := range sc.vTouched {
+			sc.vCount[idx] = 0
+		}
+		return false
+	}
+	slices.Sort(sc.hTouched)
+	slices.Sort(sc.vTouched)
+	sc.hUse, sc.vUse = sc.hUse[:0], sc.vUse[:0]
+	for _, idx := range sc.hTouched {
+		n := sc.hCount[idx]
+		sc.hUse = append(sc.hUse, EdgeUse{Idx: idx, N: n})
+		sc.hCount[idx] = 0
+		if n >= 2 {
+			sc.heavy++
+		}
+	}
+	for _, idx := range sc.vTouched {
+		n := sc.vCount[idx]
+		sc.vUse = append(sc.vUse, EdgeUse{Idx: idx, N: n})
+		sc.vCount[idx] = 0
+		if n >= 2 {
+			sc.heavy++
+		}
+	}
+	return true
+}
+
+// assemble materializes the precomputed footprint onto the candidate's
+// layer pair: Edges sorted by (Layer, Idx), word masks, heavy list.
+func (sc *expandScratch) assemble(c *Candidate) {
+	hl, vl := int32(c.HLayer), int32(c.VLayer)
+	c.Edges = make([]EdgeUse, 0, len(sc.hUse)+len(sc.vUse))
+	appendRun := func(l int32, use []EdgeUse) {
+		for _, e := range use {
+			c.Edges = append(c.Edges, EdgeUse{Layer: l, Idx: e.Idx, N: e.N})
+		}
+	}
+	if hl < vl {
+		appendRun(hl, sc.hUse)
+		appendRun(vl, sc.vUse)
+	} else {
+		appendRun(vl, sc.vUse)
+		appendRun(hl, sc.hUse)
+	}
+	masks := sc.masks[:0]
+	for _, e := range c.Edges {
+		w := e.Idx >> 6
+		if n := len(masks); n > 0 && masks[n-1].Layer == e.Layer && masks[n-1].Word == w {
+			masks[n-1].Bits |= 1 << (e.Idx & 63)
+		} else {
+			masks = append(masks, WordMask{Layer: e.Layer, Word: w, Bits: 1 << (e.Idx & 63)})
+		}
+	}
+	sc.masks = masks
+	c.Masks = make([]WordMask, len(masks))
+	copy(c.Masks, masks)
+	if sc.heavy > 0 {
+		c.Heavy = make([]EdgeUse, 0, sc.heavy)
+		for _, e := range c.Edges {
+			if e.N >= 2 {
+				c.Heavy = append(c.Heavy, e)
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
-	return out
 }
 
 // layerPairs lists (hLayer, vLayer) combinations sorted by layer distance
@@ -329,32 +523,6 @@ func layerPairs(gr *grid.Grid, maxPairs int) [][2]int {
 		pairs = pairs[:maxPairs]
 	}
 	return pairs
-}
-
-func buildCandidate(gr *grid.Grid, ot ObjectTopology, hl, vl int, opt Options) (Candidate, bool) {
-	c := Candidate{Topo: ot, HLayer: hl, VLayer: vl, Usage: make(map[EdgeKey]int)}
-	layerDist := iabs(hl - vl)
-	if layerDist == 0 {
-		layerDist = 1
-	}
-	for _, t := range ot.BitTrees {
-		for _, s := range t.Canon().Segs {
-			l := hl
-			if s.Vertical() && s.Len() > 0 {
-				l = vl
-			}
-			if !gr.SegFits(l, s) {
-				return Candidate{}, false
-			}
-			gr.SegEdges(l, s, func(idx int) {
-				c.Usage[EdgeKey{l, idx}]++
-			})
-		}
-		c.WL += t.WireLength()
-		c.Vias += t.Bends() * layerDist
-	}
-	c.Cost = c.WL + opt.ViaWeight*c.Vias
-	return c, true
 }
 
 func iabs(v int) int {

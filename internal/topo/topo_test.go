@@ -266,8 +266,8 @@ func TestExpand3D(t *testing.T) {
 		}
 		prev = c.Cost
 		total := 0
-		for _, n := range c.Usage {
-			total += n
+		for _, e := range c.Edges {
+			total += int(e.N)
 		}
 		if total != c.WL {
 			t.Errorf("candidate %d usage total %d != WL %d", i, total, c.WL)
@@ -277,9 +277,9 @@ func TestExpand3D(t *testing.T) {
 		}
 		base++
 		// Pure horizontal bus: all usage on the H layer, 8 edges per bit.
-		for k := range c.Usage {
-			if k.Layer != c.HLayer {
-				t.Errorf("candidate %d uses layer %d", i, k.Layer)
+		for _, e := range c.Edges {
+			if int(e.Layer) != c.HLayer {
+				t.Errorf("candidate %d uses layer %d", i, e.Layer)
 			}
 		}
 	}
