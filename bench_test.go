@@ -7,6 +7,7 @@ package streak
 // (route %, regularity, violations) alongside runtime.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/postopt"
 	"repro/internal/report"
 	"repro/internal/route"
+	"repro/internal/solvecache"
 	"repro/internal/steiner"
 
 	"repro/internal/geom"
@@ -345,4 +347,42 @@ func BenchmarkHierarchicalVsMonolithic(b *testing.B) {
 			b.ReportMetric(float64(res.Assignment.RoutedObjects()), "routedObjs")
 		})
 	}
+}
+
+// BenchmarkCacheHit measures the content-addressed solve cache's exact-hit
+// path against the cold solve it replaces on the same design
+// (BenchmarkBuildParallel's Industry7 preset). The hit serves a cached
+// Result after one key computation — a canonicalization hash over the
+// design — so the cold/hit ratio is the interactive-serving win for
+// resubmitted designs.
+func BenchmarkCacheHit(b *testing.B) {
+	ctx := context.Background()
+	d := benchgen.Scale(benchgen.Industry(7), benchScale).Generate()
+	opt := core.Options{}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunCtx(ctx, d, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		sv := solvecache.NewSolver(solvecache.NewCache(4))
+		if _, _, err := sv.Solve(ctx, d, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, outcome, err := sv.Solve(ctx, d, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if outcome != solvecache.OutcomeHit {
+				b.Fatalf("outcome %q, want hit", outcome)
+			}
+			_ = res
+		}
+	})
 }

@@ -9,6 +9,7 @@
 //	        [-method pd|ilp|hier] [-audit off|warn|strict] [-fallback]
 //	        [-workers 0] [-ilptime 60s] [-faultinject SPEC]
 //	        [-jobs-dir DIR] [-job-retries 3] [-job-workers 2]
+//	        [-cache-size 64]
 //
 // The service is built for rough weather: concurrency is bounded by
 // -max-inflight, excess requests wait in a bounded queue and are shed with
@@ -27,9 +28,16 @@
 // exponential backoff up to -job-retries attempts. Without -jobs-dir the
 // tier runs on an in-memory store (no durability).
 //
-// /healthz reports liveness with counters; /readyz reports admission
-// capacity for load-balancer rotation (not-ready until WAL replay
-// completes at boot).
+// Solves are served through a content-addressed cache (bounded by
+// -cache-size): identical designs hit instantly, and near-duplicates — the
+// same floorplan after a moved group or an added/removed blockage — are
+// re-routed incrementally from the cached base, with every incremental
+// result gated by the independent legality audit. Disable per request with
+// ?cache=off, or globally with -cache-size -1.
+//
+// /healthz reports liveness with counters (including cache hit/miss/
+// incremental statistics); /readyz reports admission capacity for
+// load-balancer rotation (not-ready until WAL replay completes at boot).
 //
 // -faultinject arms deterministic faults at the compiled-in chaos sites
 // (see internal/faultinject; e.g. "pd.solve=delay:2s@3" stalls the third
@@ -86,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		jobsDir      = fs.String("jobs-dir", "", "directory for the durable async-jobs WAL (empty = in-memory job store, no durability)")
 		jobRetries   = fs.Int("job-retries", 3, "execution attempts per async job before it fails")
 		jobWorkers   = fs.Int("job-workers", 2, "concurrent async job solves")
+		cacheSize    = fs.Int("cache-size", 0, "content-addressed solve cache entries (0 = default 64, negative disables; per-request ?cache=off opts out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -135,6 +144,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		JobStore:        store,
 		JobRetries:      *jobRetries,
 		JobWorkers:      *jobWorkers,
+		CacheSize:       *cacheSize,
 		Logf:            logf,
 	})
 

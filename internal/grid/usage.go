@@ -40,8 +40,16 @@ func NewUsage(g *Grid) *Usage {
 // Grid returns the grid this usage tracks.
 func (u *Usage) Grid() *Grid { return u.g }
 
-// Clone returns an independent copy of the usage state.
+// Clone returns an independent copy of the usage state. Clones are born
+// synced: if the grid's capacities were edited after u's last bitset
+// resync, u is resynced first, so the copy never carries a stale blocked
+// bitset — Clone callers frequently hand the copy to code that mutates
+// the grid again before the first BlockedWords read, and a stale bitset
+// paired with a matching generation stamp would survive that read.
 func (u *Usage) Clone() *Usage {
+	if u.capGen != u.g.capGen {
+		u.rebuildBlocked()
+	}
 	c := &Usage{g: u.g, use: make([][]int32, len(u.use)), blocked: make([][]uint64, len(u.blocked)), capGen: u.capGen}
 	for l := range u.use {
 		c.use[l] = append([]int32(nil), u.use[l]...)

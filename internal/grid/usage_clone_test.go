@@ -1,0 +1,78 @@
+package grid
+
+import "testing"
+
+// TestCloneBornSynced pins the Clone staleness contract: cloning a tracker
+// whose blocked bitset is stale (the grid's capacities were edited after
+// the tracker's last resync) must produce a clone that is already synced —
+// stamp current AND bitset reflecting the edited capacities. Before the
+// fix, Clone copied the stale bitset with the stale stamp verbatim;
+// single-threaded reads were saved by BlockedWords' lazy resync, but the
+// clone was born carrying state it would have to throw away, and any future
+// read path trusting the stamp-matches-generation invariant at birth would
+// have seen blocked edges as free.
+func TestCloneBornSynced(t *testing.T) {
+	g := New(8, 8, DefaultLayers(2, 2))
+	u := NewUsage(g)
+
+	// Stale the tracker: zero out one edge's capacity after the tracker's
+	// last bitset sync.
+	g.SetCap(0, 2, 2, 0)
+	if u.capGen == g.capGen {
+		t.Fatal("test setup broken: tracker not stale after SetCap")
+	}
+
+	c := u.Clone()
+	if c.capGen != g.capGen {
+		t.Fatalf("clone born stale: stamp %d, grid generation %d", c.capGen, g.capGen)
+	}
+	idx := g.EdgeIndex(0, 2, 2)
+	if c.blocked[0][idx>>6]&(1<<(idx&63)) == 0 {
+		t.Fatal("clone's bitset misses the capacity edit that preceded Clone")
+	}
+	// The source tracker was resynced in passing, not corrupted.
+	if u.capGen != g.capGen {
+		t.Fatal("source tracker left stale after Clone")
+	}
+}
+
+// TestCloneSurvivesInterleavedCapEdit mutates the grid between Clone and
+// the clone's first read, the exact interleaving the eager resync protects:
+// the clone must fold BOTH capacity edits into its first BlockedWords view.
+func TestCloneSurvivesInterleavedCapEdit(t *testing.T) {
+	g := New(8, 8, DefaultLayers(2, 2))
+	u := NewUsage(g)
+	g.SetCap(0, 2, 2, 0) // edit #1: tracker goes stale
+	c := u.Clone()
+	g.SetCap(0, 4, 4, 0) // edit #2: between Clone and first read
+
+	for name, tr := range map[string]*Usage{"clone": c, "source": u} {
+		w := tr.BlockedWords(0)
+		for _, pt := range [][2]int{{2, 2}, {4, 4}} {
+			idx := g.EdgeIndex(0, pt[0], pt[1])
+			if w[idx>>6]&(1<<(idx&63)) == 0 {
+				t.Fatalf("%s: edge (%d,%d) blocked by capacity edit but not in bitset", name, pt[0], pt[1])
+			}
+		}
+	}
+}
+
+// TestCloneIsolation checks that usage mutations on a clone never leak into
+// the source tracker and vice versa.
+func TestCloneIsolation(t *testing.T) {
+	g := New(8, 8, DefaultLayers(2, 1))
+	u := NewUsage(g)
+	c := u.Clone()
+
+	idx := g.EdgeIndex(0, 1, 1)
+	c.Add(0, idx, 1) // fills the edge (cap 1) on the clone only
+	if u.Use(0, idx) != 0 {
+		t.Fatal("clone mutation leaked into source usage")
+	}
+	if u.BlockedWords(0)[idx>>6]&(1<<(idx&63)) != 0 {
+		t.Fatal("clone mutation leaked into source bitset")
+	}
+	if c.BlockedWords(0)[idx>>6]&(1<<(idx&63)) == 0 {
+		t.Fatal("clone lost its own mutation")
+	}
+}

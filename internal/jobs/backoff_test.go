@@ -1,0 +1,78 @@
+package jobs
+
+import (
+	mrand "math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func jitterManager(seed int64) *Manager {
+	m := New(Config{Store: NewMemStore(), Backoff: 2 * time.Second, MaxBackoff: time.Minute})
+	m.jitter = mrand.New(mrand.NewSource(seed))
+	return m
+}
+
+// TestBackoffJitterPerManager pins the fix for backoff jitter drawn from
+// the shared global math/rand: each manager owns a seeded source, so two
+// managers with the same seed produce the same jitter sequence and two
+// managers with different seeds diverge — neither is possible when every
+// manager races over one global stream.
+func TestBackoffJitterPerManager(t *testing.T) {
+	a, b := jitterManager(7), jitterManager(7)
+	for attempt := 1; attempt <= 6; attempt++ {
+		if da, db := a.backoff(attempt), b.backoff(attempt); da != db {
+			t.Fatalf("attempt %d: same-seed managers diverged: %s vs %s", attempt, da, db)
+		}
+	}
+
+	c, d := jitterManager(1), jitterManager(2)
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if c.backoff(attempt) != d.backoff(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different-seed managers produced identical jitter sequences")
+	}
+}
+
+// TestBackoffBounds checks the exponential schedule and the ±25% jitter
+// window around it, including the MaxBackoff cap.
+func TestBackoffBounds(t *testing.T) {
+	m := jitterManager(99)
+	base := m.cfg.Backoff
+	for attempt := 1; attempt <= 10; attempt++ {
+		want := base << (attempt - 1)
+		if want > m.cfg.MaxBackoff || want <= 0 {
+			want = m.cfg.MaxBackoff
+		}
+		for i := 0; i < 50; i++ {
+			got := m.backoff(attempt)
+			if got < want*3/4 || got > want*5/4 {
+				t.Fatalf("attempt %d: backoff %s outside ±25%% of %s", attempt, got, want)
+			}
+		}
+	}
+}
+
+// TestBackoffConcurrent hammers one manager's backoff from many goroutines;
+// under -race this proves the private source is properly serialized.
+func TestBackoffConcurrent(t *testing.T) {
+	m := jitterManager(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if d := m.backoff(1 + i%5); d <= 0 {
+					t.Error("non-positive backoff")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

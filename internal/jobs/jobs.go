@@ -25,6 +25,7 @@ package jobs
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -72,6 +73,10 @@ type Spec struct {
 	Audit  string `json:"audit,omitempty"`
 	// Stats asks the result to carry the run's telemetry report.
 	Stats bool `json:"stats,omitempty"`
+	// NoCache opts the job out of the content-addressed solve cache
+	// (?cache=off at submit time). Additive, so WAL records from before
+	// the field existed replay as cache-enabled.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // Runner executes one job attempt. rec is the attempt's live telemetry
@@ -243,6 +248,14 @@ type Manager struct {
 	byIdem   map[string]string
 	runnable []string // job IDs due now, FIFO
 	started  bool
+
+	// jitter is the manager's private backoff-jitter source. Sharing the
+	// global math/rand source across managers serializes every concurrent
+	// worker's retry scheduling on one lock and, worse, lets co-located
+	// managers interleave one deterministic stream — per-manager seeding
+	// decorrelates their retry storms.
+	jitterMu sync.Mutex
+	jitter   *mrand.Rand
 }
 
 // New builds a manager. Call Start to replay the store and begin
@@ -259,10 +272,20 @@ func New(cfg Config) *Manager {
 		byIdem:   make(map[string]string),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.jitter = mrand.New(mrand.NewSource(cryptoSeed()))
 	// Executions root at BaseContext so fault plans (and other
 	// context-carried seams) reach the runner; hardStop cancels them all.
 	m.hardCtx, m.hardStop = context.WithCancel(cfg.BaseContext)
 	return m
+}
+
+// cryptoSeed draws a fresh seed for the manager's jitter source.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading jitter seed: %v", err))
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // Start replays the store in the background — recovering persisted jobs —
@@ -808,7 +831,9 @@ func (m *Manager) backoff(attempt int) time.Duration {
 		d = m.cfg.MaxBackoff
 	}
 	if q := int64(d / 4); q > 0 {
-		d += time.Duration(mrand.Int63n(2*q) - q)
+		m.jitterMu.Lock()
+		d += time.Duration(m.jitter.Int63n(2*q) - q)
+		m.jitterMu.Unlock()
 	}
 	return d
 }

@@ -1,0 +1,197 @@
+package route
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// cloneSmall deep-copies smallDesign's output so tests can mutate freely.
+func cloneSmall() *signal.Design {
+	d := smallDesign()
+	nd := *d
+	nd.Grid.Blockages = append([]signal.Blockage(nil), d.Grid.Blockages...)
+	nd.Groups = make([]signal.Group, len(d.Groups))
+	for gi := range d.Groups {
+		g := d.Groups[gi]
+		g.Bits = append([]signal.Bit(nil), g.Bits...)
+		for bi := range g.Bits {
+			g.Bits[bi].Pins = append([]signal.Pin(nil), g.Bits[bi].Pins...)
+		}
+		nd.Groups[gi] = g
+	}
+	return &nd
+}
+
+func TestDiffDesigns(t *testing.T) {
+	base := cloneSmall()
+
+	t.Run("identical", func(t *testing.T) {
+		delta, ok := DiffDesigns(base, cloneSmall())
+		if !ok || !delta.Empty() {
+			t.Fatalf("identical designs: delta %+v ok=%v, want empty delta", delta, ok)
+		}
+	})
+
+	t.Run("blockage order ignored", func(t *testing.T) {
+		b1 := signal.Blockage{Layer: 0, Rect: geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(2, 2)}}
+		b2 := signal.Blockage{Layer: 1, Rect: geom.Rect{Lo: geom.Pt(5, 5), Hi: geom.Pt(6, 6)}}
+		a, b := cloneSmall(), cloneSmall()
+		a.Grid.Blockages = []signal.Blockage{b1, b2}
+		b.Grid.Blockages = []signal.Blockage{b2, b1}
+		delta, ok := DiffDesigns(a, b)
+		if !ok || !delta.Empty() {
+			t.Fatalf("reordered blockages: delta %+v ok=%v, want empty delta", delta, ok)
+		}
+	})
+
+	t.Run("added blockage dirties its rect", func(t *testing.T) {
+		edited := cloneSmall()
+		r := geom.Rect{Lo: geom.Pt(3, 3), Hi: geom.Pt(5, 5)}
+		edited.Grid.Blockages = append(edited.Grid.Blockages, signal.Blockage{Layer: 0, Rect: r})
+		delta, ok := DiffDesigns(base, edited)
+		if !ok || len(delta.DirtyRects) != 1 || delta.DirtyRects[0] != r || len(delta.ChangedGroups) != 0 {
+			t.Fatalf("added blockage: delta %+v ok=%v, want one dirty rect %v", delta, ok, r)
+		}
+	})
+
+	t.Run("moved group", func(t *testing.T) {
+		edited := cloneSmall()
+		for bi := range edited.Groups[1].Bits {
+			for pi := range edited.Groups[1].Bits[bi].Pins {
+				edited.Groups[1].Bits[bi].Pins[pi].Loc.X++
+			}
+		}
+		delta, ok := DiffDesigns(base, edited)
+		if !ok || len(delta.ChangedGroups) != 1 || delta.ChangedGroups[0] != 1 {
+			t.Fatalf("moved group: delta %+v ok=%v, want group 1 changed", delta, ok)
+		}
+		if len(delta.DirtyRects) != 2 {
+			t.Fatalf("moved group: %d dirty rects, want old+new pin bboxes", len(delta.DirtyRects))
+		}
+	})
+
+	t.Run("pin names ignored", func(t *testing.T) {
+		edited := cloneSmall()
+		edited.Groups[0].Bits[0].Pins[0].Name = "renamed"
+		edited.Groups[0].Name = "rebranded"
+		delta, ok := DiffDesigns(base, edited)
+		if !ok || !delta.Empty() {
+			t.Fatalf("renames: delta %+v ok=%v, want empty delta", delta, ok)
+		}
+	})
+
+	t.Run("grid shape change is incompatible", func(t *testing.T) {
+		edited := cloneSmall()
+		edited.Grid.W++
+		if _, ok := DiffDesigns(base, edited); ok {
+			t.Fatal("resized grid diffed as compatible")
+		}
+		edited = cloneSmall()
+		edited.Grid.EdgeCap++
+		if _, ok := DiffDesigns(base, edited); ok {
+			t.Fatal("recapacitated grid diffed as compatible")
+		}
+	})
+}
+
+// rebuildEquals builds the edited design cold and via RebuildCtx from the
+// base problem, and requires the problems to match on every public field
+// the solvers read.
+func rebuildEquals(t *testing.T, base *Problem, edited *signal.Design, delta Delta) RebuildStats {
+	t.Helper()
+	cold, err := Build(edited, base.Opt)
+	if err != nil {
+		t.Fatalf("cold build: %v", err)
+	}
+	inc, stats, err := base.RebuildCtx(context.Background(), edited, delta)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if !reflect.DeepEqual(cold.Objects, inc.Objects) {
+		t.Fatalf("objects differ: cold %d vs incremental %d", len(cold.Objects), len(inc.Objects))
+	}
+	if !reflect.DeepEqual(cold.GroupObjs, inc.GroupObjs) {
+		t.Fatalf("group-object maps differ")
+	}
+	if !reflect.DeepEqual(cold.Cands, inc.Cands) {
+		t.Fatalf("candidate lists differ")
+	}
+	// The kernel is a pure function of (grid, objects, candidates, options);
+	// spot-check it agrees through the public pair-cost API.
+	for i := range cold.Objects {
+		for _, q := range cold.Partners(i) {
+			if len(cold.Cands[i]) == 0 || len(cold.Cands[q]) == 0 {
+				continue
+			}
+			if c, in := cold.PairCost(i, 0, q, 0), inc.PairCost(i, 0, q, 0); c != in {
+				t.Fatalf("pair cost (%d,%d) differs: cold %v incremental %v", i, q, c, in)
+			}
+		}
+	}
+	return stats
+}
+
+func TestRebuildMatchesColdBuild(t *testing.T) {
+	base, err := Build(cloneSmall(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("remote blockage keeps all candidates", func(t *testing.T) {
+		edited := cloneSmall()
+		edited.Grid.Blockages = append(edited.Grid.Blockages,
+			signal.Blockage{Layer: 0, Rect: geom.Rect{Lo: geom.Pt(21, 21), Hi: geom.Pt(22, 22)}})
+		delta, ok := DiffDesigns(base.Design, edited)
+		if !ok {
+			t.Fatal("diff not ok")
+		}
+		stats := rebuildEquals(t, base, edited, delta)
+		if stats.Regenerated != 0 || stats.KeptObjects != len(base.Objects) {
+			t.Fatalf("remote edit: kept %d regenerated %d, want all %d kept",
+				stats.KeptObjects, stats.Regenerated, len(base.Objects))
+		}
+	})
+
+	t.Run("overlapping blockage invalidates bus objects", func(t *testing.T) {
+		edited := cloneSmall()
+		edited.Grid.Blockages = append(edited.Grid.Blockages,
+			signal.Blockage{Layer: 0, Rect: geom.Rect{Lo: geom.Pt(6, 2), Hi: geom.Pt(8, 3)}})
+		delta, ok := DiffDesigns(base.Design, edited)
+		if !ok {
+			t.Fatal("diff not ok")
+		}
+		stats := rebuildEquals(t, base, edited, delta)
+		if stats.Regenerated == 0 {
+			t.Fatal("blockage across the bus footprint invalidated nothing")
+		}
+	})
+
+	t.Run("moved group regenerates and matches", func(t *testing.T) {
+		edited := cloneSmall()
+		for bi := range edited.Groups[1].Bits {
+			for pi := range edited.Groups[1].Bits[bi].Pins {
+				edited.Groups[1].Bits[bi].Pins[pi].Loc.Y++
+			}
+		}
+		delta, ok := DiffDesigns(base.Design, edited)
+		if !ok {
+			t.Fatal("diff not ok")
+		}
+		stats := rebuildEquals(t, base, edited, delta)
+		if stats.Regenerated == 0 {
+			t.Fatal("moved group regenerated nothing")
+		}
+	})
+
+	t.Run("group count change refuses", func(t *testing.T) {
+		edited := cloneSmall()
+		edited.Groups = edited.Groups[:1]
+		if _, _, err := base.RebuildCtx(context.Background(), edited, Delta{}); err == nil {
+			t.Fatal("rebuild across group counts succeeded, want error")
+		}
+	})
+}

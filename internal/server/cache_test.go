@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// TestRouteCacheHit posts the same design twice and expects the second
+// response to be served from the solve cache, metric-identical to the
+// first, with the outcome surfaced in the response and the counters on
+// /healthz.
+func TestRouteCacheHit(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := testDesign(t)
+	var first, second RouteResponse
+	if resp := post(t, ts, "/route", designBody(t, d), &first); resp.StatusCode != 200 {
+		t.Fatalf("first status %d", resp.StatusCode)
+	}
+	if first.Cache != "cold" {
+		t.Fatalf("first solve cache outcome %q, want cold", first.Cache)
+	}
+	if resp := post(t, ts, "/route", designBody(t, d), &second); resp.StatusCode != 200 {
+		t.Fatalf("second status %d", resp.StatusCode)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second solve cache outcome %q, want hit", second.Cache)
+	}
+	m1, m2 := first.Metrics, second.Metrics
+	m1.Runtime, m2.Runtime = 0, 0
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("hit metrics diverge:\n got %+v\nwant %+v", m2, m1)
+	}
+
+	h := s.Stats()
+	if h.Cache == nil {
+		t.Fatal("healthz missing cache stats while the cache is enabled")
+	}
+	if h.Cache.Hits != 1 || h.Cache.Entries != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit over 1 entry", h.Cache)
+	}
+}
+
+// TestRouteCacheOff checks the per-request escape hatch and the global
+// disable: neither consults the cache.
+func TestRouteCacheOff(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := testDesign(t)
+	var rr RouteResponse
+	for i := 0; i < 2; i++ {
+		if resp := post(t, ts, "/route?cache=off", designBody(t, d), &rr); resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if rr.Cache != "" {
+			t.Fatalf("?cache=off still reports outcome %q", rr.Cache)
+		}
+	}
+	if h := s.Stats(); h.Cache != nil && (h.Cache.Hits != 0 || h.Cache.Misses != 0 || h.Cache.Entries != 0) {
+		t.Fatalf("?cache=off touched the cache: %+v", h.Cache)
+	}
+
+	off := New(Config{CacheSize: -1})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	if resp := post(t, tsOff, "/route", designBody(t, d), &rr); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if rr.Cache != "" {
+		t.Fatalf("disabled cache still reports outcome %q", rr.Cache)
+	}
+	if h := off.Stats(); h.Cache != nil {
+		t.Fatalf("healthz reports cache stats with the cache disabled: %+v", h.Cache)
+	}
+}
+
+// TestJobCacheThreading checks that the async tier shares the same cache:
+// a job solving a design already solved synchronously is served as a hit,
+// and cache=off on submit opts the job out.
+func TestJobCacheThreading(t *testing.T) {
+	s := New(Config{JobStore: jobs.NewMemStore(), Logf: t.Logf})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the cache synchronously; submitJob posts the same testDesign.
+	var rr RouteResponse
+	if resp := post(t, ts, "/route", designBody(t, testDesign(t)), &rr); resp.StatusCode != 200 {
+		t.Fatalf("warm-up status %d", resp.StatusCode)
+	}
+
+	jobOutcome := func(path string) string {
+		v, resp := submitJob(t, ts, path, "")
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %s status %d", path, resp.StatusCode)
+		}
+		done := awaitJob(t, ts, v.ID, jobs.Succeeded)
+		var jr RouteResponse
+		if err := json.Unmarshal(done.Result, &jr); err != nil {
+			t.Fatalf("decode job result: %v", err)
+		}
+		return jr.Cache
+	}
+	if got := jobOutcome("/jobs"); got != "hit" {
+		t.Fatalf("job after identical sync solve: outcome %q, want hit", got)
+	}
+	if got := jobOutcome("/jobs?cache=off"); got != "" {
+		t.Fatalf("job with cache=off reports outcome %q, want none", got)
+	}
+}

@@ -50,7 +50,7 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec, rec *obs.Recorder, 
 	rec.SetLabel("job_attempt", fmt.Sprint(attempt))
 	ctx = obs.WithRecorder(ctx, rec)
 
-	res, err := core.RunCtx(ctx, d, opt)
+	res, outcome, err := s.solveSpec(ctx, d, opt, spec.NoCache)
 	if err != nil {
 		var ex *core.ExhaustedError
 		switch {
@@ -70,6 +70,7 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec, rec *obs.Recorder, 
 	}
 
 	resp := routeResponse(d.Name, res, start)
+	resp.Cache = string(outcome)
 	if spec.Stats {
 		rep := rec.Report()
 		if res.Usage != nil {
@@ -103,10 +104,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := jobs.Spec{
-		Design: raw,
-		Method: q.Get("method"),
-		Audit:  q.Get("audit"),
-		Stats:  q.Get("stats") == "1",
+		Design:  raw,
+		Method:  q.Get("method"),
+		Audit:   q.Get("audit"),
+		Stats:   q.Get("stats") == "1",
+		NoCache: q.Get("cache") == "off",
 	}
 	view, existed, err := s.jobs.Submit(r.Context(), spec, r.Header.Get("Idempotency-Key"))
 	switch {

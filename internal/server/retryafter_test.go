@@ -1,0 +1,31 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterRoundsUp pins the Retry-After hint math: the queue-wait
+// budget must round UP to whole seconds. Flooring a fractional budget
+// (2500ms -> "2") told shed clients to retry while the very wait window
+// that shed them was still running; the hint must always cover the full
+// budget, and never be "0" (which clients read as "retry immediately").
+func TestRetryAfterRoundsUp(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want string
+	}{
+		{300 * time.Millisecond, "1"},  // sub-second clamps up to 1
+		{time.Second, "1"},             // exact seconds pass through
+		{2500 * time.Millisecond, "3"}, // ceiling, not floor: the bug was "2"
+		{1999 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+		{0, "5"}, // the 5s Config default applies
+	}
+	for _, c := range cases {
+		s := New(Config{QueueWait: c.wait, CacheSize: -1})
+		if got := s.retryAfter(); got != c.want {
+			t.Errorf("QueueWait %s: Retry-After %q, want %q", c.wait, got, c.want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/signal"
+	"repro/internal/solvecache"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -84,6 +85,11 @@ type Config struct {
 	// Logf receives job-tier diagnostics (WAL replay skips, append
 	// failures). nil discards them.
 	Logf func(format string, args ...any)
+	// CacheSize bounds the content-addressed solve cache shared by the
+	// synchronous and async tiers (entries; see internal/solvecache). Zero
+	// means solvecache.DefaultSize; negative disables caching entirely.
+	// Individual requests can opt out with ?cache=off.
+	CacheSize int
 }
 
 // withDefaults fills unset fields.
@@ -114,9 +120,10 @@ func (c Config) withDefaults() Config {
 
 // Server is the streakd request handler plus its admission state.
 type Server struct {
-	cfg  Config
-	mux  *http.ServeMux
-	jobs *jobs.Manager // nil when Config.JobStore is nil
+	cfg    Config
+	mux    *http.ServeMux
+	jobs   *jobs.Manager      // nil when Config.JobStore is nil
+	solver *solvecache.Solver // nil when Config.CacheSize < 0
 
 	sem      chan struct{} // solve slots; len == inflight
 	draining chan struct{} // closed by BeginDrain
@@ -139,6 +146,9 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		draining: make(chan struct{}),
+	}
+	if cfg.CacheSize >= 0 {
+		s.solver = solvecache.NewSolver(solvecache.NewCache(cfg.CacheSize))
 	}
 	s.hardCtx, s.hardStop = context.WithCancel(cfg.BaseContext)
 	s.mux = http.NewServeMux()
@@ -189,6 +199,10 @@ type RouteResponse struct {
 	AuditOK *bool `json:"audit_ok,omitempty"`
 	// Audit carries the violation list when the audit ran dirty.
 	Audit *audit.Report `json:"audit,omitempty"`
+	// Cache labels how the solve was served: "hit", "incremental", "cold",
+	// "cold-fallback" or "bypass" (see solvecache.Outcome). Empty when the
+	// cache is disabled or the request opted out with ?cache=off.
+	Cache string `json:"cache,omitempty"`
 	// Stats is the run's telemetry report (only with ?stats=1).
 	Stats *obs.Report `json:"stats,omitempty"`
 	// ElapsedMS is the server-side wall clock of the whole request.
@@ -263,7 +277,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	rec.SetLabel("method", opt.Method.String())
 	ctx = obs.WithRecorder(ctx, rec)
 
-	res, err := core.RunCtx(ctx, d, opt)
+	res, outcome, err := s.solve(ctx, r, d, opt)
 	if err != nil {
 		s.respondError(w, r, res, err, start)
 		return
@@ -276,6 +290,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := routeResponse(d.Name, res, start)
+	resp.Cache = string(outcome)
 	if r.URL.Query().Get("stats") == "1" {
 		rep := rec.Report()
 		if res.Usage != nil {
@@ -285,6 +300,26 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// solve runs one request's solve, through the content-addressed cache
+// unless it is disabled or the request opted out with ?cache=off. Shared
+// by the synchronous path and (with the opt-out persisted on the job spec)
+// the async executor via solveSpec.
+func (s *Server) solve(ctx context.Context, r *http.Request, d *signal.Design, opt core.Options) (*core.Result, solvecache.Outcome, error) {
+	return s.solveSpec(ctx, d, opt, r.URL.Query().Get("cache") == "off")
+}
+
+func (s *Server) solveSpec(ctx context.Context, d *signal.Design, opt core.Options, noCache bool) (*core.Result, solvecache.Outcome, error) {
+	if s.solver == nil || noCache {
+		res, err := core.RunCtx(ctx, d, opt)
+		return res, "", err
+	}
+	res, outcome, err := s.solver.Solve(ctx, d, opt)
+	if rec := obs.FromContext(ctx); rec != nil && err == nil {
+		rec.SetLabel("cache", string(outcome))
+	}
+	return res, outcome, err
 }
 
 // routeResponse assembles the success body shared by the synchronous
@@ -430,7 +465,11 @@ func (s *Server) admit(reqCtx context.Context) (func(), int, error) {
 // retryAfter hints when shed traffic should come back: roughly when the
 // current queue has drained through the solve slots.
 func (s *Server) retryAfter() string {
-	secs := int64(s.cfg.QueueWait / time.Second)
+	// Round up, never down: a fractional wait budget truncated to its
+	// floor tells clients to come back while the queue budget that shed
+	// them is still running, turning every shed into a busy-loop. Clamp
+	// to >= 1 because Retry-After: 0 means "immediately" to most clients.
+	secs := int64((s.cfg.QueueWait + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
@@ -454,6 +493,9 @@ type Health struct {
 	Panics int64 `json:"panics"`
 	// Jobs is the async tier's snapshot (absent when the tier is off).
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
+	// Cache is the solve cache's counter snapshot (absent when caching is
+	// disabled).
+	Cache *solvecache.Stats `json:"cache,omitempty"`
 }
 
 // Stats returns the live health snapshot.
@@ -476,6 +518,10 @@ func (s *Server) Stats() Health {
 	if s.jobs != nil {
 		st := s.jobs.StatsSnapshot()
 		h.Jobs = &st
+	}
+	if s.solver != nil {
+		cst := s.solver.Cache().Stats()
+		h.Cache = &cst
 	}
 	return h
 }

@@ -1,0 +1,89 @@
+package solvecache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testEntry(k byte, family uint64) *entry {
+	var key Key
+	key[0] = k
+	return &entry{key: key, family: family, result: &core.Result{}}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := NewCache(2)
+	c.insert(testEntry(1, 10))
+	c.insert(testEntry(2, 20))
+	c.insert(testEntry(3, 30)) // evicts entry 1
+
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	var k1, k2 Key
+	k1[0], k2[0] = 1, 2
+	if c.get(k1) != nil {
+		t.Fatal("oldest entry survived past the bound")
+	}
+	if c.get(k2) == nil {
+		t.Fatal("entry 2 evicted early")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 eviction, 1 hit, 1 miss", st)
+	}
+	if c.base(10) != nil {
+		t.Fatal("family index still points at the evicted entry")
+	}
+	if c.base(20) == nil {
+		t.Fatal("family index lost a live entry")
+	}
+}
+
+func TestCacheLRUPromotion(t *testing.T) {
+	c := NewCache(2)
+	c.insert(testEntry(1, 10))
+	c.insert(testEntry(2, 20))
+	var k1 Key
+	k1[0] = 1
+	if c.get(k1) == nil { // promote 1 to MRU
+		t.Fatal("entry 1 missing")
+	}
+	c.insert(testEntry(3, 30)) // must evict 2, not the promoted 1
+	if c.get(k1) == nil {
+		t.Fatal("promoted entry evicted")
+	}
+	var k2 Key
+	k2[0] = 2
+	if c.get(k2) != nil {
+		t.Fatal("LRU victim survived")
+	}
+}
+
+func TestCacheFamilyTracksMRU(t *testing.T) {
+	c := NewCache(4)
+	c.insert(testEntry(1, 10))
+	c.insert(testEntry(2, 10)) // same family, newer
+	if e := c.base(10); e == nil || e.key[0] != 2 {
+		t.Fatal("family index not pointing at the newest same-family entry")
+	}
+	var k1 Key
+	k1[0] = 1
+	c.get(k1) // promoting entry 1 repoints the family index
+	if e := c.base(10); e == nil || e.key[0] != 1 {
+		t.Fatal("family index did not follow the most recently used entry")
+	}
+}
+
+func TestCacheSameKeyReplaces(t *testing.T) {
+	c := NewCache(2)
+	c.insert(testEntry(1, 10))
+	c.insert(testEntry(1, 10))
+	if c.Len() != 1 {
+		t.Fatalf("len %d after duplicate insert, want 1", c.Len())
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("duplicate insert counted as eviction")
+	}
+}

@@ -1,0 +1,195 @@
+package solvecache
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/signal"
+)
+
+// mutate applies one random ECO-style edit — add a blockage, remove a
+// blockage, or translate a whole group — keeping the design valid.
+func mutate(r *rand.Rand, d *signal.Design) string {
+	for {
+		switch r.Intn(3) {
+		case 0: // add a small full blockage
+			w, h := 1+r.Intn(3), 1+r.Intn(3)
+			x := r.Intn(d.Grid.W - w)
+			y := r.Intn(d.Grid.H - h)
+			d.Grid.Blockages = append(d.Grid.Blockages, signal.Blockage{
+				Layer: r.Intn(d.Grid.NumLayers),
+				Rect:  geom.Rect{Lo: geom.Pt(x, y), Hi: geom.Pt(x+w, y+h)},
+			})
+			return "add-blockage"
+		case 1: // remove a blockage
+			if len(d.Grid.Blockages) == 0 {
+				continue
+			}
+			i := r.Intn(len(d.Grid.Blockages))
+			d.Grid.Blockages = append(d.Grid.Blockages[:i], d.Grid.Blockages[i+1:]...)
+			return "remove-blockage"
+		case 2: // translate one group, clamped in-bounds
+			gi := r.Intn(len(d.Groups))
+			g := &d.Groups[gi]
+			lo := geom.Pt(d.Grid.W, d.Grid.H)
+			hi := geom.Pt(0, 0)
+			for bi := range g.Bits {
+				for _, p := range g.Bits[bi].Pins {
+					lo.X, lo.Y = min(lo.X, p.Loc.X), min(lo.Y, p.Loc.Y)
+					hi.X, hi.Y = max(hi.X, p.Loc.X), max(hi.Y, p.Loc.Y)
+				}
+			}
+			dx := clampShift(r.Intn(5)-2, lo.X, hi.X, d.Grid.W)
+			dy := clampShift(r.Intn(5)-2, lo.Y, hi.Y, d.Grid.H)
+			if dx == 0 && dy == 0 {
+				dy = clampShift(1, lo.Y, hi.Y, d.Grid.H)
+				if dy == 0 {
+					continue
+				}
+			}
+			for bi := range g.Bits {
+				for pi := range g.Bits[bi].Pins {
+					g.Bits[bi].Pins[pi].Loc.X += dx
+					g.Bits[bi].Pins[pi].Loc.Y += dy
+				}
+			}
+			return "move-group"
+		}
+	}
+}
+
+// clampShift shrinks a shift so [lo,hi] stays inside [0,dim).
+func clampShift(s, lo, hi, dim int) int {
+	for s != 0 && (lo+s < 0 || hi+s >= dim) {
+		if s > 0 {
+			s--
+		} else {
+			s++
+		}
+	}
+	return s
+}
+
+// TestECOSweep drives a randomized edit sequence through the cached solver
+// and checks, at every step, that the served result is (a) legal under the
+// independent audit for the *current* design and (b) metric-identical to a
+// cold solve of that design. At least one step must have been served
+// incrementally, or the sweep proved nothing.
+func TestECOSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ECO sweep solves the design twice per step")
+	}
+	ctx := context.Background()
+	opt := core.Options{PostOpt: true}
+	sv := NewSolver(NewCache(8))
+	r := rand.New(rand.NewSource(42))
+	d := benchgen.Scale(benchgen.Industry(1), 0.05).Generate()
+
+	incrementals := 0
+	for step := 0; step < 9; step++ {
+		op := "initial"
+		if step > 0 {
+			d = cloneDesign(d)
+			op = mutate(r, d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("step %d (%s): mutated design invalid: %v", step, op, err)
+		}
+
+		res, outcome, err := sv.Solve(ctx, d, opt)
+		if err != nil {
+			t.Fatalf("step %d (%s): cached solve: %v", step, op, err)
+		}
+		if outcome == OutcomeIncremental {
+			incrementals++
+		}
+
+		if rep := audit.Check(d, route.NewGrid(d), res.Routing); !rep.OK() {
+			t.Fatalf("step %d (%s, %s): audit violations on served result: %v",
+				step, op, outcome, rep.Err())
+		}
+
+		cold, err := core.RunCtx(ctx, d, opt)
+		if err != nil {
+			t.Fatalf("step %d (%s): cold solve: %v", step, op, err)
+		}
+		mGot, mWant := res.Metrics, cold.Metrics
+		mGot.Runtime, mWant.Runtime = 0, 0
+		if !reflect.DeepEqual(mGot, mWant) {
+			t.Fatalf("step %d (%s, %s): metrics diverge from cold solve:\n got %+v\nwant %+v",
+				step, op, outcome, mGot, mWant)
+		}
+	}
+	if incrementals == 0 {
+		t.Fatal("sweep never took the incremental path; the test is vacuous")
+	}
+	st := sv.Cache().Stats()
+	t.Logf("sweep: %d incrementals, stats %+v", incrementals, st)
+}
+
+// TestSolveExactHit checks that resubmitting an identical design is served
+// from the cache without solving, and that a renamed copy still hits.
+func TestSolveExactHit(t *testing.T) {
+	ctx := context.Background()
+	opt := core.Options{}
+	sv := NewSolver(NewCache(4))
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+
+	first, outcome, err := sv.Solve(ctx, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeCold {
+		t.Fatalf("first solve outcome %q, want cold", outcome)
+	}
+
+	renamed := cloneDesign(d)
+	renamed.Name = "same-geometry-new-name"
+	second, outcome, err := sv.Solve(ctx, renamed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeHit {
+		t.Fatalf("second solve outcome %q, want hit", outcome)
+	}
+	if second.Metrics.Bench != renamed.Name {
+		t.Fatalf("hit kept stale bench label %q", second.Metrics.Bench)
+	}
+	mGot, mWant := second.Metrics, first.Metrics
+	mGot.Bench, mWant.Bench = "", ""
+	mGot.Runtime, mWant.Runtime = 0, 0
+	if !reflect.DeepEqual(mGot, mWant) {
+		t.Fatalf("hit metrics diverge:\n got %+v\nwant %+v", mGot, mWant)
+	}
+	if st := sv.Cache().Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit over 1 entry", st)
+	}
+}
+
+// TestSolveBypass checks the two pass-through paths: a nil solver and an
+// unfingerprintable custom fallback chain.
+func TestSolveBypass(t *testing.T) {
+	ctx := context.Background()
+	d := benchgen.Scale(benchgen.Industry(1), 0.04).Generate()
+
+	var nilSolver *Solver
+	if _, outcome, err := nilSolver.Solve(ctx, d, core.Options{}); err != nil || outcome != OutcomeBypass {
+		t.Fatalf("nil solver: outcome %q err %v, want bypass", outcome, err)
+	}
+
+	sv := NewSolver(NewCache(4))
+	opt := core.Options{Fallback: core.Fallback{Chain: []core.Solver{core.MethodSolver(core.PrimalDual)}}}
+	if _, outcome, err := sv.Solve(ctx, d, opt); err != nil || outcome != OutcomeBypass {
+		t.Fatalf("custom chain: outcome %q err %v, want bypass", outcome, err)
+	}
+	if sv.Cache().Len() != 0 {
+		t.Fatal("bypass populated the cache")
+	}
+}
