@@ -10,6 +10,7 @@
 //	benchreport -domain -industry 3          # also record routing quality
 //	benchreport -compare BENCH_old.json      # run, then diff against a baseline
 //	benchreport -in BENCH_new.json -compare BENCH_old.json   # diff two artifacts, no run
+//	benchreport -push http://localhost:8080  # also push the artifact into a streakd telemetry lake
 //
 // Exit codes: 0 ok, 1 operational error, 2 bad usage, 3 regression found.
 package main
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/benchreport"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func run() int {
 		domain    = flag.Bool("domain", false, "also run the primal-dual flow in-process and record routing quality metrics")
 		industry  = flag.Int("industry", 3, "Industry benchmark for -domain")
 		scale     = flag.Float64("scale", 0.06, "benchmark scale for -domain")
+		push      = flag.String("push", "", "push the artifact to a streakd telemetry lake at this base URL (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -82,6 +85,21 @@ func run() int {
 		if path != "-" {
 			fmt.Printf("wrote %s (%d rows)\n", path, len(file.Benchmarks))
 		}
+	}
+
+	if *push != "" {
+		raw, err := json.Marshal(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			return 1
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := telemetry.PushBench(ctx, *push, raw); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: push: %v\n", err)
+			return 1
+		}
+		fmt.Printf("pushed %d rows to %s\n", len(file.Benchmarks), *push)
 	}
 
 	if *compare == "" {

@@ -9,7 +9,7 @@
 //	        [-method pd|ilp|hier] [-audit off|warn|strict] [-fallback]
 //	        [-workers 0] [-ilptime 60s] [-faultinject SPEC]
 //	        [-jobs-dir DIR] [-job-retries 3] [-job-workers 2]
-//	        [-cache-size 64]
+//	        [-cache-size 64] [-telemetry-dir DIR] [-telemetry-buffer 256]
 //
 // The service is built for rough weather: concurrency is bounded by
 // -max-inflight, excess requests wait in a bounded queue and are shed with
@@ -37,7 +37,16 @@
 //
 // /healthz reports liveness with counters (including cache hit/miss/
 // incremental statistics); /readyz reports admission capacity for
-// load-balancer rotation (not-ready until WAL replay completes at boot).
+// load-balancer rotation (not-ready until WAL replay completes at boot);
+// /metrics is Prometheus text exposition of the same plus the
+// process-lifetime solver counter aggregate.
+//
+// With -telemetry-dir set, every solve (synchronous and async attempts
+// alike) is distilled into the telemetry lake: an embedded append-only
+// segment store with crash-safe replay, queried via
+// /telemetry/v1/series and /telemetry/v1/bench/trajectory and browsed
+// at /debug/telemetry. The producer never blocks a solve — a full
+// buffer (-telemetry-buffer) drops the record and counts the drop.
 //
 // -faultinject arms deterministic faults at the compiled-in chaos sites
 // (see internal/faultinject; e.g. "pd.solve=delay:2s@3" stalls the third
@@ -61,6 +70,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 
 	streak "repro"
 )
@@ -95,6 +105,11 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		jobRetries   = fs.Int("job-retries", 3, "execution attempts per async job before it fails")
 		jobWorkers   = fs.Int("job-workers", 2, "concurrent async job solves")
 		cacheSize    = fs.Int("cache-size", 0, "content-addressed solve cache entries (0 = default 64, negative disables; per-request ?cache=off opts out)")
+		telemDir     = fs.String("telemetry-dir", "", "directory for the telemetry lake's segment store (empty disables the lake)")
+		telemBuffer  = fs.Int("telemetry-buffer", 256, "telemetry client buffer; pushes beyond it are dropped, never awaited")
+		telemSegMB   = fs.Int("telemetry-segment-mb", 2, "telemetry segment rotation size in MiB")
+		telemKeep    = fs.Int("telemetry-retain", 16, "telemetry segments kept; rotation retires the oldest beyond this")
+		telemMaxAge  = fs.Duration("telemetry-max-age", 0, "retire telemetry segments whose newest record is older than this (0 = keep until -telemetry-retain evicts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,6 +147,25 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		fmt.Fprintf(stdout, "streakd: durable jobs WAL at %s (retries %d)\n", *jobsDir, *jobRetries)
 	}
 
+	var telem *telemetry.Service
+	if *telemDir != "" {
+		store, err := telemetry.OpenStore(telemetry.StoreConfig{
+			Dir:          *telemDir,
+			SegmentBytes: int64(*telemSegMB) << 20,
+			MaxSegments:  *telemKeep,
+			MaxAge:       *telemMaxAge,
+			Logf:         logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "streakd:", err)
+			return 1
+		}
+		telem = telemetry.NewService(store, *telemBuffer, logf)
+		st := store.Stats()
+		fmt.Fprintf(stdout, "streakd: telemetry lake at %s (%d records replayed, %d segments)\n",
+			*telemDir, st.Records, st.Segments)
+	}
+
 	s := server.New(server.Config{
 		MaxInflight:  *maxInflight,
 		QueueDepth:   *queue,
@@ -145,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		JobRetries:      *jobRetries,
 		JobWorkers:      *jobWorkers,
 		CacheSize:       *cacheSize,
+		Telemetry:       telem,
 		Logf:            logf,
 	})
 
@@ -185,6 +220,15 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "streakd:", err)
+	}
+	if telem != nil {
+		// Flush buffered telemetry into the lake before exit; a slow disk
+		// gets a bounded grace, not a hung shutdown.
+		tctx, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := telem.Close(tctx); err != nil {
+			fmt.Fprintln(stderr, "streakd: telemetry close:", err)
+		}
+		tcancel()
 	}
 	st := s.Stats()
 	fmt.Fprintf(stdout, "streakd: drained (served %d, shed %d, failed %d, panics isolated %d)\n",

@@ -143,9 +143,9 @@ func CheckCtx(ctx context.Context, d *signal.Design, g *grid.Grid, r *route.Rout
 		return nil
 	})
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("audit.violations", int64(len(rep.Violations)))
-		rec.Add("audit.bits", int64(rep.BitsAudited))
-		rec.Add("audit.edges", int64(rep.EdgesAudited))
+		rec.Add(obs.CounterAuditViolations, int64(len(rep.Violations)))
+		rec.Add(obs.CounterAuditBits, int64(rep.BitsAudited))
+		rec.Add(obs.CounterAuditEdges, int64(rep.EdgesAudited))
 	}
 	return rep
 }

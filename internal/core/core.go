@@ -249,7 +249,7 @@ func RunProblemCtx(ctx context.Context, p *route.Problem, opt Options) (*Result,
 		if res.Degraded {
 			rec.SetLabel("degraded", "true")
 		}
-		rec.Add("core.fallback.attempts", int64(len(res.Attempts)))
+		rec.Add(obs.CounterFallbackAttempts, int64(len(res.Attempts)))
 	}
 
 	res.Routing = p.ExtractRouting(res.Assignment)

@@ -73,8 +73,8 @@ func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		return err
 	})
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("exact.vars", int64(res.Vars))
-		rec.Add("exact.cons", int64(res.Cons))
+		rec.Add(obs.CounterExactVars, int64(res.Vars))
+		rec.Add(obs.CounterExactCons, int64(res.Cons))
 	}
 	return res, err
 }

@@ -91,9 +91,9 @@ func SolveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		return err
 	})
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("hier.tiles.solved", int64(res.TilesSolved))
-		rec.Add("hier.tiles.timedout", int64(res.TilesTimedOut))
-		rec.Add("hier.greedy.routed", int64(res.GreedyRouted))
+		rec.Add(obs.CounterHierTilesSolved, int64(res.TilesSolved))
+		rec.Add(obs.CounterHierTilesTimedOut, int64(res.TilesTimedOut))
+		rec.Add(obs.CounterHierGreedyRouted, int64(res.GreedyRouted))
 	}
 	return res, err
 }
@@ -112,8 +112,8 @@ func solveCtx(ctx context.Context, p *route.Problem, opt Options) (Result, error
 		g0, f0 := pool.Counters()
 		defer func() {
 			g1, f1 := pool.Counters()
-			rec.Add("hier.usage.pool.gets", g1-g0)
-			rec.Add("hier.usage.pool.fresh", f1-f0)
+			rec.Add(obs.CounterHierUsagePoolGets, g1-g0)
+			rec.Add(obs.CounterHierUsagePoolFresh, f1-f0)
 		}()
 	}
 	u := pool.Get()

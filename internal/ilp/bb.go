@@ -138,16 +138,16 @@ func Solve(m *Model, opt SolveOptions) Result {
 		}
 		// One ilp.Solve call per monolithic exact solve, many per
 		// hierarchical run (one per tile) — counters accumulate across them.
-		rec.Add("ilp.solves", 1)
-		rec.Add("ilp.bb.nodes", int64(nodes))
-		rec.Add("ilp.bb.pruned", int64(pruned))
-		rec.Add("ilp.simplex.iterations", int64(simplexIters))
-		rec.Add("ilp.lazy.activated", int64(lazyActivated))
-		rec.Add("ilp.lp.warm", int64(warmSolves))
-		rec.Add("ilp.lp.cold", int64(coldSolves))
-		rec.Add("ilp.scratch.gets", 1)
+		rec.Add(obs.CounterILPSolves, 1)
+		rec.Add(obs.CounterILPBBNodes, int64(nodes))
+		rec.Add(obs.CounterILPBBPruned, int64(pruned))
+		rec.Add(obs.CounterILPSimplexIters, int64(simplexIters))
+		rec.Add(obs.CounterILPLazyActive, int64(lazyActivated))
+		rec.Add(obs.CounterILPLPWarm, int64(warmSolves))
+		rec.Add(obs.CounterILPLPCold, int64(coldSolves))
+		rec.Add(obs.CounterILPScratchGets, 1)
 		if scrFresh {
-			rec.Add("ilp.scratch.fresh", 1)
+			rec.Add(obs.CounterILPScratchFresh, 1)
 		}
 	}()
 	// Convergence series: one sample per incumbent (warm start included),

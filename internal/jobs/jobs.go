@@ -345,8 +345,8 @@ func (m *Manager) replay() {
 		// the daemon must boot even over a damaged journal.
 		m.cfg.Logf("jobs: WAL replay failed after %d records: %v", records, err)
 	}
-	m.rec.Add("jobs.replay.records", int64(records))
-	m.rec.Add("jobs.replay.skipped", int64(skipped))
+	m.rec.Add(obs.CounterJobsReplayRecords, int64(records))
+	m.rec.Add(obs.CounterJobsReplaySkipped, int64(skipped))
 	if skipped > 0 {
 		m.cfg.Logf("jobs: WAL replay skipped %d unreadable record(s)", skipped)
 	}
@@ -365,7 +365,7 @@ func (m *Manager) replay() {
 
 	now := time.Now()
 	for _, j := range interrupted {
-		m.rec.Add("jobs.recovered", 1)
+		m.rec.Add(obs.CounterJobsRecovered, 1)
 		if j.attempt >= j.maxAttempts {
 			m.mu.Lock()
 			j.state = Failed
@@ -373,7 +373,7 @@ func (m *Manager) replay() {
 			j.updated = now
 			m.mu.Unlock()
 			m.append(Record{JobID: j.id, State: Failed, Time: now, Attempt: j.attempt, Error: j.errMsg})
-			m.rec.Add("jobs.failed", 1)
+			m.rec.Add(obs.CounterJobsFailed, 1)
 			continue
 		}
 		m.mu.Lock()
@@ -382,7 +382,7 @@ func (m *Manager) replay() {
 		j.updated = now
 		m.mu.Unlock()
 		m.append(Record{JobID: j.id, State: Interrupted, Time: now, Attempt: j.attempt, Error: j.errMsg})
-		m.rec.Add("jobs.interrupted", 1)
+		m.rec.Add(obs.CounterJobsInterrupted, 1)
 		requeue = append(requeue, j)
 	}
 	for _, j := range requeue {
@@ -445,7 +445,7 @@ func (m *Manager) Submit(ctx context.Context, spec Spec, idemKey string) (View, 
 		if id, ok := m.byIdem[idemKey]; ok {
 			v := m.jobs[id].view()
 			m.mu.Unlock()
-			m.rec.Add("jobs.dedup", 1)
+			m.rec.Add(obs.CounterJobsDedup, 1)
 			return v, true, nil
 		}
 	}
@@ -476,10 +476,10 @@ func (m *Manager) Submit(ctx context.Context, spec Spec, idemKey string) (View, 
 			delete(m.byIdem, idemKey)
 		}
 		m.mu.Unlock()
-		m.rec.Add("jobs.store.append.errors", 1)
+		m.rec.Add(obs.CounterJobsAppendErrors, 1)
 		return View{}, false, fmt.Errorf("jobs: persisting submit: %w", err)
 	}
-	m.rec.Add("jobs.submitted", 1)
+	m.rec.Add(obs.CounterJobsSubmitted, 1)
 	m.enqueue(j.id)
 	return v, false, nil
 }
@@ -531,7 +531,7 @@ func (m *Manager) Cancel(ctx context.Context, id string) (View, error) {
 		v := j.view()
 		m.mu.Unlock()
 		m.append(Record{JobID: id, State: Canceled, Time: v.Updated, Attempt: v.Attempts})
-		m.rec.Add("jobs.canceled", 1)
+		m.rec.Add(obs.CounterJobsCanceled, 1)
 		m.publish(v)
 		return v, nil
 	}
@@ -712,9 +712,9 @@ func (m *Manager) execute(id string) {
 	m.running.Add(1)
 	defer m.running.Add(-1)
 	m.append(Record{JobID: id, State: Running, Time: v.Updated, Attempt: attempt})
-	m.rec.Add("jobs.started", 1)
+	m.rec.Add(obs.CounterJobsStarted, 1)
 	if attempt > 1 {
-		m.rec.Add("jobs.retries", 1)
+		m.rec.Add(obs.CounterJobsRetries, 1)
 	}
 	m.publish(v)
 
@@ -731,21 +731,21 @@ func (m *Manager) execute(id string) {
 	switch {
 	case err == nil:
 		m.finish(j, Succeeded, "", result, now)
-		m.rec.Add("jobs.succeeded", 1)
+		m.rec.Add(obs.CounterJobsSucceeded, 1)
 	case userCancel:
 		m.finish(j, Canceled, "canceled by client", nil, now)
-		m.rec.Add("jobs.canceled", 1)
+		m.rec.Add(obs.CounterJobsCanceled, 1)
 	case m.hardCtx.Err() != nil:
 		// The manager is being torn down: persist the interruption so the
 		// next boot retries the job, exactly like a crash would.
 		m.finish(j, Interrupted, fmt.Sprintf("interrupted on attempt %d (shutdown): %v", attempt, err), nil, now)
-		m.rec.Add("jobs.interrupted", 1)
+		m.rec.Add(obs.CounterJobsInterrupted, 1)
 	case IsTerminal(err):
 		m.finish(j, Failed, err.Error(), nil, now)
-		m.rec.Add("jobs.failed", 1)
+		m.rec.Add(obs.CounterJobsFailed, 1)
 	case attempt >= m.maxAttemptsOf(j):
 		m.finish(j, Failed, fmt.Sprintf("attempt %d/%d: %v (retry budget exhausted)", attempt, m.maxAttemptsOf(j), err), nil, now)
-		m.rec.Add("jobs.failed", 1)
+		m.rec.Add(obs.CounterJobsFailed, 1)
 	default:
 		// Retryable: back off exponentially with jitter, persist the
 		// PENDING transition so a restart retries without waiting.
@@ -790,7 +790,7 @@ func (m *Manager) finish(j *job, st State, errMsg string, result json.RawMessage
 // counted.
 func (m *Manager) append(rec Record) {
 	if err := m.cfg.Store.Append(m.base, rec); err != nil {
-		m.rec.Add("jobs.store.append.errors", 1)
+		m.rec.Add(obs.CounterJobsAppendErrors, 1)
 		m.cfg.Logf("jobs: persisting %s transition for %s: %v", rec.State, rec.JobID, err)
 	}
 }

@@ -39,21 +39,6 @@ const (
 	StageMetrics = "metrics"
 )
 
-// Canonical solve-cache counter names (recorded by internal/solvecache):
-// exact content-hash hits and misses, misses served by incremental
-// re-routing, per-rebuild object invalidation/reuse splits, incremental
-// attempts abandoned for a cold solve, and incremental results the
-// legality audit rejected.
-const (
-	CounterCacheHit         = "cache.hit"
-	CounterCacheMiss        = "cache.miss"
-	CounterCacheIncremental = "cache.incremental"
-	CounterCacheInvalidated = "cache.objects.invalidated"
-	CounterCacheKept        = "cache.objects.kept"
-	CounterCacheColdFall    = "cache.fallback.cold"
-	CounterCacheAuditReject = "cache.audit.reject"
-)
-
 // Recorder collects spans, counters and labels for one run. The zero value
 // is not used directly; call NewRecorder. All methods are safe for
 // concurrent use and safe on a nil receiver.

@@ -100,13 +100,13 @@ func solveCtx(ctx context.Context, p *route.Problem) (Result, error) {
 		if rec == nil {
 			return
 		}
-		rec.Add("pd.iterations", int64(iterations))
-		rec.Add("pd.routed", int64(a.RoutedObjects()))
-		rec.Add("pd.prune.checked", pruneChecked)
-		rec.Add("pd.prune.survivors", pruneSurvivors)
+		rec.Add(obs.CounterPDIterations, int64(iterations))
+		rec.Add(obs.CounterPDRouted, int64(a.RoutedObjects()))
+		rec.Add(obs.CounterPDPruneChecked, pruneChecked)
+		rec.Add(obs.CounterPDPruneSurvivors, pruneSurvivors)
 		gets, fresh := pool.Counters()
-		rec.Add("pd.usage.pool.gets", gets-poolGets0)
-		rec.Add("pd.usage.pool.fresh", fresh-poolFresh0)
+		rec.Add(obs.CounterPDUsagePoolGets, gets-poolGets0)
+		rec.Add(obs.CounterPDUsagePoolFresh, fresh-poolFresh0)
 	}()
 	// Traced solves track the (3a) objective incrementally: it starts at n*M
 	// (everything unrouted) and each commit replaces one M with the

@@ -98,9 +98,9 @@ func ClusterAndRouteCtx(ctx context.Context, p *route.Problem, r *route.Routing,
 		return nil
 	})
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("postopt.cluster.bits_routed", int64(stats.BitsRouted))
-		rec.Add("postopt.cluster.bits_left", int64(stats.BitsLeft))
-		rec.Add("postopt.cluster.clusters", int64(stats.Clusters))
+		rec.Add(obs.CounterClusterBitsRouted, int64(stats.BitsRouted))
+		rec.Add(obs.CounterClusterBitsLeft, int64(stats.BitsLeft))
+		rec.Add(obs.CounterClusterClusters, int64(stats.Clusters))
 	}
 	return stats, err
 }

@@ -180,9 +180,9 @@ func RefineCtx(ctx context.Context, p *route.Problem, r *route.Routing, u *grid.
 		return nil
 	})
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("postopt.refine.pins_fixed", int64(stats.PinsFixed))
-		rec.Add("postopt.refine.pins_left", int64(stats.PinsLeft))
-		rec.Add("postopt.refine.added_wl", int64(stats.AddedWL))
+		rec.Add(obs.CounterRefinePinsFixed, int64(stats.PinsFixed))
+		rec.Add(obs.CounterRefinePinsLeft, int64(stats.PinsLeft))
+		rec.Add(obs.CounterRefineAddedWL, int64(stats.AddedWL))
 	}
 	return stats, err
 }

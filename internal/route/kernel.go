@@ -83,8 +83,8 @@ func (p *Problem) buildKernel(ctx context.Context, workers int) error {
 		}
 	}
 	if rec := obs.FromContext(ctx); rec != nil {
-		rec.Add("kernel.pairs.eager", int64(len(eager)))
-		rec.Add("kernel.pairs.lazy", int64(len(p.kern.pairs)-len(eager)))
+		rec.Add(obs.CounterKernelPairsEager, int64(len(eager)))
+		rec.Add(obs.CounterKernelPairsLazy, int64(len(p.kern.pairs)-len(eager)))
 	}
 	return parallelFor(ctx, workers, len(eager), func(x int) {
 		p.fillPair(eager[x])

@@ -201,15 +201,15 @@ func BuildCtx(ctx context.Context, d *signal.Design, opt Options) (*Problem, err
 		for i := range p.Cands {
 			total += len(p.Cands[i])
 		}
-		rec.Add("build.objects", int64(len(p.Objects)))
-		rec.Add("build.candidates", int64(total))
+		rec.Add(obs.CounterBuildObjects, int64(len(p.Objects)))
+		rec.Add(obs.CounterBuildCandidates, int64(total))
 		// Pooled-vs-fresh geometry-arena split for this build. The global
 		// counters are shared across concurrent builds, so the deltas are
 		// attributions, not exact per-build counts; in the common one-build-
 		// per-recorder case they are exact.
 		gets1, fresh1 := geom.ArenaCounters()
-		rec.Add("build.arena.pool.gets", gets1-arenaGets0)
-		rec.Add("build.arena.pool.fresh", fresh1-arenaFresh0)
+		rec.Add(obs.CounterBuildArenaPoolGets, gets1-arenaGets0)
+		rec.Add(obs.CounterBuildArenaPoolFresh, fresh1-arenaFresh0)
 	}
 	p.indexBits()
 	if err := obs.Do(ctx, obs.StageKernel, workers, func(ctx context.Context) error {

@@ -51,6 +51,9 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec, rec *obs.Recorder, 
 	ctx = obs.WithRecorder(ctx, rec)
 
 	res, outcome, err := s.solveSpec(ctx, d, opt, spec.NoCache)
+	// Every attempt's report flows into the telemetry lake — including
+	// failed ones, so retry storms and degradation show up in the series.
+	s.recordSolve(rec, res, time.Since(start), "jobs")
 	if err != nil {
 		var ex *core.ExhaustedError
 		switch {

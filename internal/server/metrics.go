@@ -1,0 +1,120 @@
+package server
+
+// This file is the GET /metrics endpoint: Prometheus text exposition
+// (version 0.0.4), hand-rolled — the format is a few lines of
+// "name{labels} value", not worth a dependency. It exposes the admission
+// health counters, the solve-cache statistics, the async-job lifecycle
+// counters, the process-lifetime solver counter aggregate, and (when the
+// lake is enabled) the telemetry producer/store counters.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	var b bytes.Buffer
+
+	promGauge(&b, "streak_up", "Whether the server is serving (0 while draining).", boolVal(st.Status == "ok"))
+	promGauge(&b, "streak_inflight_solves", "Requests currently holding a solve slot.", float64(st.Inflight))
+	promGauge(&b, "streak_waiting_requests", "Requests queued for a solve slot.", float64(st.Waiting))
+	promGauge(&b, "streak_max_inflight", "Configured solve-slot bound.", float64(st.MaxInflight))
+	promGauge(&b, "streak_queue_depth", "Configured wait-queue bound.", float64(st.QueueDepth))
+	promCounter(&b, "streak_served_total", "Requests answered 2xx.", float64(st.Served))
+	promCounter(&b, "streak_shed_total", "Requests shed with 429.", float64(st.Shed))
+	promCounter(&b, "streak_failed_total", "Requests answered 5xx.", float64(st.Failed))
+	promCounter(&b, "streak_panics_total", "Panics isolated by the request guard.", float64(st.Panics))
+
+	if c := st.Cache; c != nil {
+		promGauge(&b, "streak_cache_entries", "Live solve-cache entries.", float64(c.Entries))
+		promCounter(&b, "streak_cache_hits_total", "Exact content-hash cache hits.", float64(c.Hits))
+		promCounter(&b, "streak_cache_misses_total", "Cache lookups without an exact entry.", float64(c.Misses))
+		promCounter(&b, "streak_cache_incrementals_total", "Misses served by incremental re-routing.", float64(c.Incrementals))
+		promCounter(&b, "streak_cache_cold_fallbacks_total", "Incremental attempts abandoned for a cold solve.", float64(c.ColdFallbacks))
+		promCounter(&b, "streak_cache_audit_rejects_total", "Incremental results rejected by the audit.", float64(c.AuditRejects))
+		promCounter(&b, "streak_cache_evictions_total", "Entries dropped by the LRU bound.", float64(c.Evictions))
+	}
+
+	if j := st.Jobs; j != nil {
+		promGauge(&b, "streak_jobs_ready", "Whether the job tier finished boot replay.", boolVal(j.Ready))
+		promGauge(&b, "streak_jobs_tracked", "Jobs in the table.", float64(j.Jobs))
+		promGauge(&b, "streak_jobs_running", "Job attempts running now.", float64(j.Running))
+		promGauge(&b, "streak_jobs_queued", "Jobs queued or awaiting retry.", float64(j.Queued))
+		promNamedCounters(&b, "streak_jobs_counter_total", "Async-job lifecycle counters by canonical name.", j.Counters)
+	}
+
+	// The process-lifetime solver counter aggregate: every request's obs
+	// counters, summed since boot, keyed by canonical name.
+	promNamedCounters(&b, "streak_solver_counter_total", "Solver counters aggregated across solves, by canonical obs name.", s.agg.Counters())
+
+	if t := s.cfg.Telemetry; t != nil {
+		cs := t.Client().Stats()
+		promCounter(&b, "streak_telemetry_pushed_total", "Telemetry records accepted into the producer buffer.", float64(cs.Pushed))
+		promCounter(&b, "streak_telemetry_dropped_total", "Telemetry records dropped by backpressure.", float64(cs.Dropped))
+		promCounter(&b, "streak_telemetry_ingest_errors_total", "Telemetry records lost to store failures.", float64(cs.IngestErrors))
+		ss := t.Store().Stats()
+		promGauge(&b, "streak_telemetry_records", "Records in the lake's working set.", float64(ss.Records))
+		promGauge(&b, "streak_telemetry_segments", "Live lake segments.", float64(ss.Segments))
+		promCounter(&b, "streak_telemetry_replay_skipped_total", "Unreadable lake records skipped at boot replay.", float64(ss.ReplaySkipped))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func promCounter(b *bytes.Buffer, name, help string, v float64) {
+	promMetric(b, name, help, "counter", v)
+}
+
+func promGauge(b *bytes.Buffer, name, help string, v float64) {
+	promMetric(b, name, help, "gauge", v)
+}
+
+func promMetric(b *bytes.Buffer, name, help, typ string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, promFloat(v))
+}
+
+// promNamedCounters emits one metric family with a name label per counter,
+// sorted for stable scrapes.
+func promNamedCounters(b *bytes.Buffer, family, help string, counters map[string]int64) {
+	if len(counters) == 0 {
+		return
+	}
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", family, help, family)
+	for _, n := range names {
+		fmt.Fprintf(b, "%s{name=\"%s\"} %d\n", family, escapeLabel(n), counters[n])
+	}
+}
+
+// promFloat renders values the way Prometheus parses them (integers stay
+// integral).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/signal"
 	"repro/internal/solvecache"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -90,6 +91,12 @@ type Config struct {
 	// means solvecache.DefaultSize; negative disables caching entirely.
 	// Individual requests can opt out with ?cache=off.
 	CacheSize int
+	// Telemetry, when non-nil, enables the telemetry lake: the ingest and
+	// query endpoints mount under /telemetry/v1/ (dashboard at
+	// /debug/telemetry), and every solve — synchronous and async — pushes
+	// a distilled report through the lake's non-blocking client. nil
+	// disables the lake; the solve path then pays one nil check.
+	Telemetry *telemetry.Service
 }
 
 // withDefaults fills unset fields.
@@ -124,6 +131,7 @@ type Server struct {
 	mux    *http.ServeMux
 	jobs   *jobs.Manager      // nil when Config.JobStore is nil
 	solver *solvecache.Solver // nil when Config.CacheSize < 0
+	agg    *obs.Recorder      // process-lifetime solver counter aggregate (/metrics)
 
 	sem      chan struct{} // solve slots; len == inflight
 	draining chan struct{} // closed by BeginDrain
@@ -144,6 +152,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
+		agg:      obs.NewRecorder(),
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		draining: make(chan struct{}),
 	}
@@ -155,6 +164,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /route", s.guard(s.handleRoute))
 	s.mux.HandleFunc("GET /healthz", s.guard(s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.guard(s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.guard(s.handleMetrics))
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Register(s.mux, s.guard)
+	}
 	if cfg.JobStore != nil {
 		s.jobs = jobs.New(jobs.Config{
 			Store:       cfg.JobStore,
@@ -291,6 +304,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 
 	resp := routeResponse(d.Name, res, start)
 	resp.Cache = string(outcome)
+	s.recordSolve(rec, res, time.Since(start), "streakd")
 	if r.URL.Query().Get("stats") == "1" {
 		rep := rec.Report()
 		if res.Usage != nil {

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxIngestBytes bounds ingest request bodies.
+const maxIngestBytes = 8 << 20
+
+// Service bundles the lake's three tiers for mounting in streakd: the
+// durable Store, the non-blocking producer Client the server pushes its
+// own solves through, and the HTTP ingest/query handlers.
+type Service struct {
+	store  *Store
+	client *Client
+}
+
+// NewService wraps a store with a producer client (buffer <= 0 means the
+// client default). logf receives ingest diagnostics.
+func NewService(store *Store, buffer int, logf func(format string, args ...any)) *Service {
+	return &Service{store: store, client: NewClient(store, buffer, logf)}
+}
+
+// Client returns the producer side (Push never blocks).
+func (s *Service) Client() *Client { return s.client }
+
+// Store returns the embedded segment store.
+func (s *Service) Store() *Store { return s.store }
+
+// Close flushes the client's buffer into the store, then seals the store.
+func (s *Service) Close(ctx context.Context) error {
+	cerr := s.client.Close(ctx)
+	if err := s.store.Close(); err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Register mounts the telemetry endpoints on mux. wrap (optional) lets the
+// caller thread its panic-isolation middleware around each handler.
+func (s *Service) Register(mux *http.ServeMux, wrap func(http.HandlerFunc) http.HandlerFunc) {
+	if wrap == nil {
+		wrap = func(h http.HandlerFunc) http.HandlerFunc { return h }
+	}
+	mux.HandleFunc("POST /telemetry/v1/reports", wrap(s.HandleIngestReport))
+	mux.HandleFunc("POST /telemetry/v1/bench", wrap(s.HandleIngestBench))
+	mux.HandleFunc("GET /telemetry/v1/series", wrap(s.HandleSeries))
+	mux.HandleFunc("GET /telemetry/v1/bench/trajectory", wrap(s.HandleTrajectory))
+	mux.HandleFunc("GET /telemetry/v1/stats", wrap(s.HandleStats))
+	mux.HandleFunc("GET /debug/telemetry", wrap(s.HandleDashboard))
+}
+
+// HandleIngestReport is POST /telemetry/v1/reports: the body is one
+// obs.Report (schema-versioned); ?source= names the producer. The report
+// is distilled and appended durably before the 202.
+func (s *Service) HandleIngestReport(w http.ResponseWriter, r *http.Request) {
+	var rep obs.Report
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes)).Decode(&rep); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding obs report: %v", err))
+		return
+	}
+	if rep.Schema > obs.SchemaVersion {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("report schema %d is newer than this server's %d", rep.Schema, obs.SchemaVersion))
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "ingest"
+	}
+	rec := NewReportRecord(source, DistillReport(rep))
+	// An ingested report carries its producing binary's revision, not this
+	// process's.
+	if c := rep.Labels["vcs_revision"]; c != "" {
+		rec.Commit = c
+	}
+	if err := s.store.Append([]Record{rec}); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"stored": 1, "kind": KindReport})
+}
+
+// benchFile mirrors the BENCH_*.json artifact fields the lake keeps
+// (decoupled from internal/benchreport so remote pushers only need the
+// documented artifact shape).
+type benchFile struct {
+	Schema      int               `json:"schema"`
+	GeneratedAt string            `json:"generated_at"`
+	Labels      map[string]string `json:"labels"`
+	Benchmarks  []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// HandleIngestBench is POST /telemetry/v1/bench: the body is one
+// BENCH_*.json artifact. The point is commit-keyed by the artifact's
+// vcs_revision label; re-pushing the same commit replaces its point.
+func (s *Service) HandleIngestBench(w http.ResponseWriter, r *http.Request) {
+	var f benchFile
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes)).Decode(&f); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding BENCH artifact: %v", err))
+		return
+	}
+	if len(f.Benchmarks) == 0 {
+		httpError(w, http.StatusBadRequest, "BENCH artifact has no benchmark rows")
+		return
+	}
+	rows := make(map[string]map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		if b.Name == "" || len(b.Metrics) == 0 {
+			continue
+		}
+		rows[b.Name] = b.Metrics
+	}
+	if len(rows) == 0 {
+		httpError(w, http.StatusBadRequest, "BENCH artifact rows carry no metrics")
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "benchreport"
+	}
+	rec := NewBenchRecord(source, f.Labels["vcs_revision"], f.GeneratedAt, rows)
+	if err := s.store.Append([]Record{rec}); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"stored": 1, "kind": KindBench, "commit": rec.Commit})
+}
+
+// HandleSeries is GET /telemetry/v1/series?metric=...&window=...: the
+// aggregated report series (see ComputeSeries).
+func (s *Service) HandleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opt := SeriesOptions{Metric: q.Get("metric")}
+	if ws := q.Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad window %q (want a duration like 15m)", ws))
+			return
+		}
+		opt.Window = d
+	}
+	series, err := ComputeSeries(s.store.Records(), opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, series)
+}
+
+// HandleTrajectory is GET /telemetry/v1/bench/trajectory: the per-commit
+// BENCH series.
+func (s *Service) HandleTrajectory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ComputeTrajectory(s.store.Records()))
+}
+
+// HandleStats is GET /telemetry/v1/stats: store and producer counters.
+func (s *Service) HandleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store":  s.store.Stats(),
+		"client": s.client.Stats(),
+	})
+}
+
+// HandleDashboard is GET /debug/telemetry: a small self-contained HTML
+// view over the series and trajectory endpoints.
+func (s *Service) HandleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, dashboardHTML)
+}
+
+// PushBench posts one BENCH artifact (its raw JSON bytes) to the ingest
+// endpoint rooted at baseURL (e.g. http://host:8080). Non-2xx responses
+// become errors carrying the server's message.
+func PushBench(ctx context.Context, baseURL string, artifact []byte) error {
+	url := strings.TrimRight(baseURL, "/") + "/telemetry/v1/bench"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(artifact))
+	if err != nil {
+		return fmt.Errorf("telemetry: building push request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("telemetry: pushing BENCH artifact: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("telemetry: push rejected: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

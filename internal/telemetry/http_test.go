@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	store := openTestStore(t, t.TempDir())
+	svc := NewService(store, 16, t.Logf)
+	mux := http.NewServeMux()
+	svc.Register(mux, nil)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestIngestReportToSeries is the remote-fleet round trip: POST an
+// obs.Report, then read it back aggregated from the series endpoint.
+func TestIngestReportToSeries(t *testing.T) {
+	_, ts := newTestService(t)
+
+	rec := obs.NewRecorder()
+	rec.SetLabel("bench", "remote-design")
+	rec.SetLabel("method", "PrimalDual")
+	rec.Add("pd.iterations", 7)
+	rep := rec.Report()
+	resp := postJSON(t, ts.URL+"/telemetry/v1/reports?source=fleet-7", rep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	var series Series
+	if resp := getJSON(t, ts.URL+"/telemetry/v1/series?metric=all", &series); resp.StatusCode != http.StatusOK {
+		t.Fatalf("series status = %d", resp.StatusCode)
+	}
+	if series.Samples != 1 {
+		t.Fatalf("Samples = %d, want 1", series.Samples)
+	}
+	if series.Latency["PrimalDual"] == nil {
+		t.Errorf("latency missing the ingested method: %+v", series.Latency)
+	}
+	if series.Rates == nil || series.Rates.Solves != 1 {
+		t.Errorf("rates = %+v", series.Rates)
+	}
+}
+
+// TestIngestReportRejectsNewerSchema: a report stamped by a future obs
+// schema is a 400, not a silent mis-parse.
+func TestIngestReportRejectsNewerSchema(t *testing.T) {
+	_, ts := newTestService(t)
+	resp := postJSON(t, ts.URL+"/telemetry/v1/reports",
+		map[string]any{"schema": obs.SchemaVersion + 1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestBenchAndTrajectory: pushed BENCH artifacts come back as
+// per-commit trajectory series, with same-commit re-pushes replacing the
+// point.
+func TestIngestBenchAndTrajectory(t *testing.T) {
+	_, ts := newTestService(t)
+	artifact := func(commit string, ns float64) map[string]any {
+		return map[string]any{
+			"schema":       1,
+			"generated_at": "2026-08-08T00:00:00Z",
+			"labels":       map[string]string{"vcs_revision": commit},
+			"benchmarks": []map[string]any{
+				{"name": "BenchmarkBuildParallel", "metrics": map[string]float64{"ns/op": ns}},
+			},
+		}
+	}
+	for _, a := range []map[string]any{artifact("c1", 100), artifact("c2", 120), artifact("c1", 90)} {
+		resp := postJSON(t, ts.URL+"/telemetry/v1/bench", a)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("bench ingest status = %d", resp.StatusCode)
+		}
+	}
+
+	var tr Trajectory
+	getJSON(t, ts.URL+"/telemetry/v1/bench/trajectory", &tr)
+	if tr.Points != 2 {
+		t.Fatalf("Points = %d, want 2 (c1 re-push replaced)", tr.Points)
+	}
+	series := tr.Series["BenchmarkBuildParallel/ns/op"]
+	vals := map[string]float64{}
+	for _, p := range series {
+		vals[p.Commit] = p.Value
+	}
+	if vals["c1"] != 90 || vals["c2"] != 120 {
+		t.Errorf("trajectory = %+v", series)
+	}
+
+	// An artifact with no rows is rejected.
+	resp := postJSON(t, ts.URL+"/telemetry/v1/bench", map[string]any{"schema": 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty artifact status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPushBenchClient exercises the helper cmd/benchreport -push uses,
+// including the error path carrying the server's message.
+func TestPushBenchClient(t *testing.T) {
+	_, ts := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	good := []byte(`{"schema":1,"benchmarks":[{"name":"B","metrics":{"ns/op":5}}]}`)
+	if err := PushBench(ctx, ts.URL+"/", good); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	err := PushBench(ctx, ts.URL, []byte(`{"schema":1}`))
+	if err == nil || !strings.Contains(err.Error(), "no benchmark rows") {
+		t.Errorf("bad-artifact push error = %v", err)
+	}
+}
+
+func TestSeriesBadParams(t *testing.T) {
+	_, ts := newTestService(t)
+	for _, q := range []string{"?metric=bogus", "?window=yesterday", "?window=-5m"} {
+		resp := getJSON(t, ts.URL+"/telemetry/v1/series"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsAndDashboard(t *testing.T) {
+	svc, ts := newTestService(t)
+	svc.Client().Push(reportRec(1, "d", "pd", 1))
+
+	var st map[string]json.RawMessage
+	if resp := getJSON(t, ts.URL+"/telemetry/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	for _, k := range []string{"store", "client"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing %q: %v", k, st)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("dashboard content type = %q", ct)
+	}
+}
+
+// TestServiceEndToEndPersistence: solves pushed through the producer
+// client land durably and survive a service restart on the same dir — the
+// unit-scale version of the CI kill-and-restart smoke.
+func TestServiceEndToEndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	store := openTestStore(t, dir)
+	svc := NewService(store, 64, t.Logf)
+	for i := 0; i < 20; i++ {
+		svc.Client().Push(reportRec(int64(i), fmt.Sprintf("d%d", i%3), "pd", int64(100+i)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := openTestStore(t, dir)
+	svc2 := NewService(store2, 64, t.Logf)
+	defer svc2.Close(ctx)
+	series, err := ComputeSeries(store2.Records(), SeriesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Samples != 20 {
+		t.Fatalf("after restart Samples = %d, want 20", series.Samples)
+	}
+	if series.Latency["pd"] == nil || series.Latency["pd"].P50US == 0 {
+		t.Errorf("latency lost across restart: %+v", series.Latency)
+	}
+}

@@ -1,0 +1,213 @@
+// Package telemetry is Streak's embedded telemetry lake: a durable home
+// for the per-solve observability reports and BENCH perf artifacts that
+// previously died as stdout or one-shot CI uploads.
+//
+// It has three tiers:
+//
+//   - Ingest: streakd mounts POST /telemetry/v1/reports (an obs.Report,
+//     schema-versioned) and POST /telemetry/v1/bench (a benchreport.File),
+//     and pushes its own solves through a Client with bounded buffering
+//     that drops on backpressure — telemetry never blocks a solve.
+//   - Store: an append-only segment store using the same checksummed
+//     fsync'd record framing as the jobs WAL ("<crc32-hex> <json>\n"),
+//     with boot-time replay, torn-tail tolerance, size-based segment
+//     rotation and segment-count/age retention, plus an in-memory working
+//     set mirroring the live segments for queries.
+//   - Query: GET /telemetry/v1/series aggregates the report series —
+//     p50/p90/p99 solve latency by method, fallback-degradation and
+//     audit-violation rates, cache hit/incremental/cold ratios, and
+//     congestion-histogram drift per design — and GET
+//     /telemetry/v1/bench/trajectory returns the per-commit BENCH series
+//     so a perf regression is visible as a curve, not a single -compare
+//     gate. /debug/telemetry renders both as a small HTML dashboard.
+//
+// Records are distilled, not raw: an ingested obs.Report is reduced to the
+// fields the query tier aggregates (SolveReport), so the lake stays small
+// enough to replay into memory at boot.
+package telemetry
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion stamps every stored record. Bump on an incompatible layout
+// change; replay skips records with a newer schema instead of failing.
+const SchemaVersion = 1
+
+// Record kinds.
+const (
+	// KindReport is one solve's distilled observability report.
+	KindReport = "report"
+	// KindBench is one BENCH_*.json perf artifact, keyed by commit.
+	KindBench = "bench"
+)
+
+// Record is one ingested telemetry envelope — exactly one of Report or
+// Bench is set, per Kind.
+type Record struct {
+	// Schema is SchemaVersion at append time.
+	Schema int `json:"schema"`
+	// Kind is KindReport or KindBench.
+	Kind string `json:"kind"`
+	// TimeMS is the ingest wall-clock in Unix milliseconds; the query
+	// tier's time axis.
+	TimeMS int64 `json:"t_ms"`
+	// Source names the producer ("streakd", "jobs", "benchreport", or
+	// whatever a remote pusher sends).
+	Source string `json:"source,omitempty"`
+	// Commit is the VCS revision of the producing binary when known.
+	Commit string `json:"commit,omitempty"`
+	// Report is the distilled solve report (Kind == KindReport).
+	Report *SolveReport `json:"report,omitempty"`
+	// Bench is the perf artifact point (Kind == KindBench).
+	Bench *BenchPoint `json:"bench,omitempty"`
+}
+
+// SolveReport distills one solve's obs.Report into the fields the query
+// tier aggregates.
+type SolveReport struct {
+	// Design is the routed design's name (the recorder's "bench" label).
+	Design string `json:"design,omitempty"`
+	// Method is the requested selection method; Solver names the rung that
+	// actually produced the assignment.
+	Method string `json:"method,omitempty"`
+	Solver string `json:"solver,omitempty"`
+	// Degraded is true when a fallback rung answered.
+	Degraded bool `json:"degraded,omitempty"`
+	// Cache labels how the solve was served (solvecache.Outcome: "hit",
+	// "incremental", "cold", "cold-fallback", "bypass"; empty = cache off).
+	Cache string `json:"cache,omitempty"`
+	// Attempt is the async-job attempt number (0 for synchronous solves).
+	Attempt int `json:"attempt,omitempty"`
+	// AuditRan / AuditViolations carry the independent legality verdict.
+	AuditRan        bool  `json:"audit_ran,omitempty"`
+	AuditViolations int64 `json:"audit_violations,omitempty"`
+	// DurUS is the solve's wall-clock in microseconds (the run span, or
+	// the server-measured elapsed time for cache hits that never entered
+	// the pipeline).
+	DurUS int64 `json:"dur_us"`
+	// Counters is the run's full named-counter set.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Congestion summarizes the post-solve usage snapshot.
+	Congestion *CongestionSummary `json:"congestion,omitempty"`
+}
+
+// CongestionSummary reduces an obs.CongestionSnapshot to the per-layer
+// utilization shape the drift series tracks.
+type CongestionSummary struct {
+	// MeanUtilPct is total used tracks over total capacity, as a
+	// percentage, across every layer with capacity.
+	MeanUtilPct float64 `json:"mean_util_pct"`
+	// OverflowEdges counts overflowed edges across layers.
+	OverflowEdges int `json:"overflow_edges"`
+	// Layers carries each layer's utilization and histogram.
+	Layers []LayerUtil `json:"layers,omitempty"`
+}
+
+// LayerUtil is one layer's utilization summary.
+type LayerUtil struct {
+	Layer int    `json:"layer"`
+	Name  string `json:"name,omitempty"`
+	// UtilPct is used/cap as a percentage (0 when the layer has no
+	// capacity).
+	UtilPct float64 `json:"util_pct"`
+	// Hist is the obs.HistBuckets-wide utilization histogram.
+	Hist []int `json:"hist,omitempty"`
+}
+
+// BenchPoint is one BENCH artifact reduced to its metric rows.
+type BenchPoint struct {
+	// GeneratedAt echoes the artifact's timestamp (informational).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Rows maps benchmark name to unit to value (ns/op, allocs/op,
+	// route%, ...).
+	Rows map[string]map[string]float64 `json:"rows"`
+}
+
+// DistillReport reduces a full obs.Report to the stored SolveReport:
+// identity from the canonical labels (bench, method, solver, degraded,
+// cache, job_attempt), the audit verdict from the audit.* counters, the
+// duration from the root "run" span, and the complete counter map.
+func DistillReport(rep obs.Report) SolveReport {
+	sr := SolveReport{
+		Design:   rep.Labels["bench"],
+		Method:   rep.Labels["method"],
+		Solver:   rep.Labels["solver"],
+		Degraded: rep.Labels["degraded"] == "true",
+		Cache:    rep.Labels["cache"],
+		DurUS:    rep.SpanTotal("run").Microseconds(),
+	}
+	if a := rep.Labels["job_attempt"]; a != "" {
+		for _, c := range a {
+			if c < '0' || c > '9' {
+				sr.Attempt = 0
+				break
+			}
+			sr.Attempt = sr.Attempt*10 + int(c-'0')
+		}
+	}
+	if len(rep.Counters) > 0 {
+		sr.Counters = make(map[string]int64, len(rep.Counters))
+		for k, v := range rep.Counters {
+			sr.Counters[k] = v
+		}
+		if rep.Counters[obs.CounterAuditBits] > 0 || rep.Counters[obs.CounterAuditEdges] > 0 {
+			sr.AuditRan = true
+			sr.AuditViolations = rep.Counters[obs.CounterAuditViolations]
+		}
+	}
+	sr.Congestion = SummarizeCongestion(rep.Congestion)
+	return sr
+}
+
+// SummarizeCongestion reduces a congestion snapshot to its per-layer
+// utilization summary (nil in, nil out).
+func SummarizeCongestion(snap *obs.CongestionSnapshot) *CongestionSummary {
+	if snap == nil {
+		return nil
+	}
+	cs := &CongestionSummary{Layers: make([]LayerUtil, 0, len(snap.Layers))}
+	var used, capTotal int64
+	for _, l := range snap.Layers {
+		lu := LayerUtil{Layer: l.Layer, Name: l.Name, Hist: append([]int(nil), l.Hist[:]...)}
+		if l.Cap > 0 {
+			lu.UtilPct = 100 * float64(l.Used) / float64(l.Cap)
+		}
+		used += l.Used
+		capTotal += l.Cap
+		cs.OverflowEdges += l.OverflowEdges
+		cs.Layers = append(cs.Layers, lu)
+	}
+	if capTotal > 0 {
+		cs.MeanUtilPct = 100 * float64(used) / float64(capTotal)
+	}
+	return cs
+}
+
+// NewReportRecord wraps a distilled solve report in a stamped envelope:
+// schema, kind, ingest time, source, and the producing binary's commit.
+func NewReportRecord(source string, sr SolveReport) Record {
+	return Record{
+		Schema: SchemaVersion,
+		Kind:   KindReport,
+		TimeMS: time.Now().UnixMilli(),
+		Source: source,
+		Commit: obs.BuildInfoLabels()["vcs_revision"],
+		Report: &sr,
+	}
+}
+
+// NewBenchRecord wraps a bench point in a stamped envelope. commit may be
+// empty (an artifact built outside a VCS checkout).
+func NewBenchRecord(source, commit, generatedAt string, rows map[string]map[string]float64) Record {
+	return Record{
+		Schema: SchemaVersion,
+		Kind:   KindBench,
+		TimeMS: time.Now().UnixMilli(),
+		Source: source,
+		Commit: commit,
+		Bench:  &BenchPoint{GeneratedAt: generatedAt, Rows: rows},
+	}
+}

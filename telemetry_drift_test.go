@@ -1,0 +1,68 @@
+package streak
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryDriftDetectsCapacityShift pins the congestion-drift series
+// end to end: solve the same design twice, the second time with the
+// per-edge track capacity halved, feed both usage snapshots through
+// SnapshotCongestion into telemetry records, and require the drift series
+// to surface the utilization jump as a positive delta. This is the signal
+// the lake exists to catch — a floorplan or process change quietly eating
+// routing headroom between two runs of the same design.
+func TestTelemetryDriftDetectsCapacityShift(t *testing.T) {
+	solve := func(capScale float64) *telemetry.CongestionSummary {
+		t.Helper()
+		d := benchgen.Scale(benchgen.Industry(1), 0.06).Generate()
+		d.Grid.EdgeCap = int(float64(d.Grid.EdgeCap) * capScale)
+		if d.Grid.EdgeCap < 1 {
+			d.Grid.EdgeCap = 1
+		}
+		res, err := RouteCtx(context.Background(), d, DefaultOptions())
+		if err != nil {
+			t.Fatalf("capScale %v: %v", capScale, err)
+		}
+		if res.Usage == nil {
+			t.Fatalf("capScale %v: no usage snapshot", capScale)
+		}
+		return telemetry.SummarizeCongestion(obs.SnapshotCongestion(res.Usage, 0))
+	}
+
+	base := solve(1.0)
+	tight := solve(0.5)
+	if base == nil || tight == nil {
+		t.Fatal("missing congestion summaries")
+	}
+	if tight.MeanUtilPct <= base.MeanUtilPct {
+		t.Fatalf("halving capacity did not raise mean utilization: base %.2f%%, tight %.2f%%",
+			base.MeanUtilPct, tight.MeanUtilPct)
+	}
+
+	recs := []telemetry.Record{
+		{Schema: telemetry.SchemaVersion, Kind: telemetry.KindReport, TimeMS: 1000,
+			Report: &telemetry.SolveReport{Design: "industry1", Congestion: base}},
+		{Schema: telemetry.SchemaVersion, Kind: telemetry.KindReport, TimeMS: 2000,
+			Report: &telemetry.SolveReport{Design: "industry1", Congestion: tight}},
+	}
+	series, err := telemetry.ComputeSeries(recs, telemetry.SeriesOptions{Metric: telemetry.MetricCongestionDrift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Drift) != 2 {
+		t.Fatalf("drift points = %d, want 2", len(series.Drift))
+	}
+	shift := series.Drift[1]
+	if shift.DriftPct <= 0 {
+		t.Errorf("drift series missed the capacity shift: DriftPct = %.3f (util %.2f%% -> %.2f%%)",
+			shift.DriftPct, base.MeanUtilPct, tight.MeanUtilPct)
+	}
+	if want := tight.MeanUtilPct - base.MeanUtilPct; shift.DriftPct != want {
+		t.Errorf("DriftPct = %v, want exact delta %v", shift.DriftPct, want)
+	}
+}
