@@ -6,6 +6,8 @@
 //	benchgen -industry 2 -scale 0.25 -out small.json
 //	benchgen -all -dir bench/
 //	benchgen -all -stats                 # per-design generation timing
+//	benchgen -preset maze -out maze.json # degenerate/adversarial presets
+//	benchgen -preset list                # list the preset names
 package main
 
 import (
@@ -28,8 +30,38 @@ func main() {
 		out      = flag.String("out", "", "output file (default stdout)")
 		dir      = flag.String("dir", ".", "output directory for -all")
 		stats    = flag.Bool("stats", false, "print per-design generation timing to stderr")
+		preset   = flag.String("preset", "", "generate a degenerate/adversarial preset by name ('list' prints the names)")
+		seed     = flag.Int64("seed", 1, "seed for -preset generation")
 	)
 	flag.Parse()
+
+	if *preset == "list" {
+		for _, name := range benchgen.DegeneratePresets() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *preset != "" {
+		d, err := benchgen.Degenerate(*preset, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(2)
+		}
+		if *out == "" {
+			if err := d.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := d.SaveFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d groups, %d nets, %d pins -> %s\n",
+			d.Name, len(d.Groups), d.NumNets(), d.NumPins(), *out)
+		return
+	}
 
 	// generate times one design's generation when -stats is set.
 	generate := func(spec benchgen.Spec) *signal.Design {

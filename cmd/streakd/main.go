@@ -10,6 +10,7 @@
 //	        [-workers 0] [-ilptime 60s] [-faultinject SPEC]
 //	        [-jobs-dir DIR] [-job-retries 3] [-job-workers 2]
 //	        [-cache-size 64] [-telemetry-dir DIR] [-telemetry-buffer 256]
+//	        [-record-dir DIR] [-record-segment-kb 4096] [-record-retain 8]
 //
 // The service is built for rough weather: concurrency is bounded by
 // -max-inflight, excess requests wait in a bounded queue and are shed with
@@ -48,6 +49,11 @@
 // at /debug/telemetry. The producer never blocks a solve — a full
 // buffer (-telemetry-buffer) drops the record and counts the drop.
 //
+// With -record-dir set, every accepted (validated) /route and /jobs body
+// is captured into a bounded ring of JSONL segments in that directory —
+// raw material for record/replay load testing: cmd/streakload -replay
+// fires a captured window back at a daemon with the original spacing.
+//
 // -faultinject arms deterministic faults at the compiled-in chaos sites
 // (see internal/faultinject; e.g. "pd.solve=delay:2s@3" stalls the third
 // primal-dual solve) — the knob the chaos suite and smoke tests turn.
@@ -69,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 
@@ -110,6 +117,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		telemSegMB   = fs.Int("telemetry-segment-mb", 2, "telemetry segment rotation size in MiB")
 		telemKeep    = fs.Int("telemetry-retain", 16, "telemetry segments kept; rotation retires the oldest beyond this")
 		telemMaxAge  = fs.Duration("telemetry-max-age", 0, "retire telemetry segments whose newest record is older than this (0 = keep until -telemetry-retain evicts)")
+		recordDir    = fs.String("record-dir", "", "capture accepted /route and /jobs request bodies into a bounded ring of JSONL segments in this directory (replay with streakload -replay)")
+		recordSegKB  = fs.Int("record-segment-kb", 4096, "capture segment rotation size in KiB")
+		recordKeep   = fs.Int("record-retain", 8, "capture segments kept; rotation deletes the oldest beyond this")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -166,6 +176,19 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 			*telemDir, st.Records, st.Segments)
 	}
 
+	var recorder server.RequestRecorder
+	if *recordDir != "" {
+		cap, err := scenario.OpenCapture(*recordDir, int64(*recordSegKB)<<10, *recordKeep)
+		if err != nil {
+			fmt.Fprintln(stderr, "streakd:", err)
+			return 1
+		}
+		defer cap.Close()
+		recorder = cap
+		fmt.Fprintf(stdout, "streakd: recording accepted requests to %s (ring of %d x %d KiB segments)\n",
+			*recordDir, *recordKeep, *recordSegKB)
+	}
+
 	s := server.New(server.Config{
 		MaxInflight:  *maxInflight,
 		QueueDepth:   *queue,
@@ -180,6 +203,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		JobWorkers:      *jobWorkers,
 		CacheSize:       *cacheSize,
 		Telemetry:       telem,
+		Recorder:        recorder,
 		Logf:            logf,
 	})
 

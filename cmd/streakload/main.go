@@ -1,0 +1,378 @@
+// Command streakload is the record/replay load and chaos driver for
+// streakd: it fires a scenario program — a seeded, deterministic traffic
+// sequence from internal/scenario, or a captured window of live traffic
+// recorded with streakd -record-dir — at a running daemon and judges the
+// run against the end-to-end robustness invariants (shed responses carry
+// Retry-After and stay under budget, no 5xx the armed fault plan didn't
+// cause, every 2xx audit-legal, every accepted async job terminal and
+// never lost).
+//
+// Usage:
+//
+//	streakload -target http://127.0.0.1:8080 -scenario churnchaos -seed 42
+//	streakload -scenario churnchaos -seed 42 -digest   # print the program digest, fire nothing
+//	streakload -scenario churnchaos -seed 42 -print-faultspec
+//	streakload -target ... -replay /var/run/streakd-capture
+//	streakload -target ... -scenario burst -rate 40 -speed 4 -max-shed 0.9
+//
+// The chaos half: a scenario may carry a fault plan (print it with
+// -print-faultspec, feed it to streakd -faultinject, and tell the driver
+// the faults are armed with -faults-armed so injected failures are
+// attributed instead of flagged). Same seed, same program — the -digest
+// of two runs proves the request sequence was identical, which is what
+// makes a chaos failure a reproducible bug report.
+//
+// Exit status: 0 when every invariant holds, 1 when any fails, 2 on
+// usage errors. -report writes the full scenario report JSON (the CI
+// artifact); -push sends the same report to the target's telemetry lake.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("streakload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "", "base URL of the streakd under test, e.g. http://127.0.0.1:8080")
+		scenName    = fs.String("scenario", "churnchaos", fmt.Sprintf("scenario family to generate (%s)", strings.Join(scenario.Names(), ", ")))
+		seed        = fs.Int64("seed", 1, "scenario seed; same seed = identical request sequence")
+		requests    = fs.Int("requests", 60, "request budget for generated scenarios")
+		scale       = fs.Float64("scale", 0.06, "design scale for generated scenarios (0,1]")
+		rate        = fs.Float64("rate", 8, "mean arrival rate (requests/second) for generated scenarios")
+		jobsFrac    = fs.Float64("jobs-frac", 0.15, "fraction of requests submitted to the async /jobs tier")
+		busWidth    = fs.Int("bus-width", 256, "widest degenerate bus the scenario emits")
+		speed       = fs.Float64("speed", 1, "time compression: arrival offsets are divided by this")
+		deadline    = fs.Duration("deadline", 90*time.Second, "per-request client deadline")
+		maxShed     = fs.Float64("max-shed", 0.8, "largest tolerated fraction of 429 responses")
+		replayDir   = fs.String("replay", "", "replay a capture ring recorded with streakd -record-dir instead of generating")
+		digest      = fs.Bool("digest", false, "print the program's canonical digest and exit (reproducibility check)")
+		printFaults = fs.Bool("print-faultspec", false, "print the scenario's fault plan and exit")
+		faultsArmed = fs.Bool("faults-armed", false, "the target was started with this scenario's fault plan; injected failures are attributed, not flagged")
+		waitJobs    = fs.Duration("wait-jobs", 60*time.Second, "how long to poll accepted async jobs for a terminal state")
+		reportPath  = fs.String("report", "", "write the scenario report JSON to this file")
+		push        = fs.Bool("push", false, "push the scenario report to the target's telemetry lake (best-effort)")
+		dumpPath    = fs.String("dump", "", "write the program JSON to this file before firing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	prog, err := buildProgram(*scenName, *replayDir, scenario.Config{
+		Seed: *seed, Requests: *requests, Scale: *scale, Rate: *rate,
+		JobsFrac: *jobsFrac, BusWidth: *busWidth,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "streakload:", err)
+		return 2
+	}
+
+	if *digest {
+		fmt.Fprintln(stdout, prog.Digest())
+		return 0
+	}
+	if *printFaults {
+		fmt.Fprintln(stdout, prog.FaultSpec)
+		return 0
+	}
+	if *dumpPath != "" {
+		data, _ := json.MarshalIndent(prog, "", "  ")
+		if err := os.WriteFile(*dumpPath, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "streakload:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "streakload: program written to %s\n", *dumpPath)
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "streakload: -target is required to fire a scenario (or use -digest / -print-faultspec / -dump)")
+		return 2
+	}
+	if *speed <= 0 {
+		fmt.Fprintln(stderr, "streakload: -speed must be > 0")
+		return 2
+	}
+	if prog.FaultSpec != "" && !*faultsArmed {
+		fmt.Fprintf(stderr, "streakload: note: scenario carries a fault plan (%s) but -faults-armed is false; any injected-looking failure will flag an invariant\n", prog.FaultSpec)
+	}
+
+	fmt.Fprintf(stderr, "streakload: firing %q (%d requests over %s at speed %gx, digest %.12s) at %s\n",
+		prog.Name, len(prog.Requests), prog.Duration().Round(time.Millisecond), *speed, prog.Digest(), *target)
+
+	start := time.Now()
+	obs := fire(prog, *target, *speed, *deadline, stderr)
+	pollJobs(obs, *target, *deadline, *waitJobs)
+	elapsed := time.Since(start)
+
+	results := scenario.CheckInvariants(obs, scenario.CheckConfig{
+		MaxShedFrac: *maxShed,
+		FaultsArmed: *faultsArmed && prog.FaultSpec != "",
+	})
+	sum := scenario.Summarize(obs)
+	report := buildReport(prog, *target, elapsed, sum, results)
+
+	printVerdict(stdout, sum, results, elapsed)
+	if *reportPath != "" {
+		data, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(*reportPath, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "streakload: writing report:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "streakload: report written to %s\n", *reportPath)
+	}
+	if *push {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := telemetry.PushScenario(ctx, *target, "streakload", report); err != nil {
+			// Best-effort: the lake may not be mounted on this target.
+			fmt.Fprintln(stderr, "streakload: push:", err)
+		} else {
+			fmt.Fprintln(stderr, "streakload: report pushed to telemetry lake")
+		}
+		cancel()
+	}
+
+	if !scenario.AllOK(results) {
+		return 1
+	}
+	return 0
+}
+
+// buildProgram resolves the program source: a capture ring or a generator.
+func buildProgram(name, replayDir string, cfg scenario.Config, stderr io.Writer) (*scenario.Program, error) {
+	if replayDir != "" {
+		reqs, skipped, err := scenario.ReadCapture(replayDir)
+		if err != nil {
+			return nil, err
+		}
+		prog, dropped, err := scenario.ProgramFromCapture("replay:"+replayDir, reqs)
+		if err != nil {
+			return nil, err
+		}
+		if skipped+dropped > 0 {
+			fmt.Fprintf(stderr, "streakload: replay: %d unreadable lines skipped, %d undecodable bodies dropped\n", skipped, dropped)
+		}
+		return prog, nil
+	}
+	return scenario.Generate(name, cfg)
+}
+
+// routeBody is the slice of streakd's response the invariants read.
+type routeBody struct {
+	Cache   string `json:"cache"`
+	AuditOK *bool  `json:"audit_ok"`
+	Error   string `json:"error"`
+}
+
+// jobView is the slice of the async job snapshot the driver polls.
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// fire plays the program open-loop: each request launches at its arrival
+// offset (compressed by speed) regardless of how earlier ones are faring
+// — that is what lets a burst actually overrun the admission queue.
+func fire(prog *scenario.Program, target string, speed float64, deadline time.Duration, stderr io.Writer) []scenario.Observation {
+	client := &http.Client{Timeout: deadline}
+	obs := make([]scenario.Observation, len(prog.Requests))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, req := range prog.Requests {
+		at := time.Duration(float64(req.At) / speed)
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(i int, req scenario.Request) {
+			defer wg.Done()
+			obs[i] = shoot(client, target, i, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return obs
+}
+
+// shoot issues one request and distills the response into an Observation.
+func shoot(client *http.Client, target string, idx int, req scenario.Request) scenario.Observation {
+	o := scenario.Observation{Index: idx, Path: req.Path, RetryAfter: -1}
+	body, err := json.Marshal(req.Design)
+	if err != nil {
+		o.TransportErr = "encode: " + err.Error()
+		return o
+	}
+	url := target + req.Path
+	if req.Query != "" {
+		url += "?" + req.Query
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	o.Latency = time.Since(t0)
+	if err != nil {
+		o.TransportErr = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) || strings.Contains(err.Error(), "Client.Timeout") {
+			o.TransportErr = "client deadline exceeded: " + err.Error()
+		}
+		return o
+	}
+	defer resp.Body.Close()
+	o.Status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			o.RetryAfter = secs
+		}
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		o.TransportErr = "read body: " + err.Error()
+		return o
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300 && req.Path == "/jobs":
+		var v jobView
+		if json.Unmarshal(raw, &v) == nil {
+			o.JobID = v.ID
+		}
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		var rb routeBody
+		if json.Unmarshal(raw, &rb) == nil {
+			o.Cache = rb.Cache
+			o.AuditOK = rb.AuditOK
+		}
+	default:
+		var rb routeBody
+		if json.Unmarshal(raw, &rb) == nil && rb.Error != "" {
+			o.ErrMsg = rb.Error
+		} else {
+			o.ErrMsg = string(raw)
+		}
+	}
+	return o
+}
+
+// pollJobs drives every accepted async job to a terminal state, marking
+// jobs lost when the server no longer knows them or the wait budget
+// expires first. "Zero lost accepted jobs" is the durability half of the
+// drain invariant.
+func pollJobs(obs []scenario.Observation, target string, deadline, wait time.Duration) {
+	client := &http.Client{Timeout: deadline}
+	var wg sync.WaitGroup
+	for i := range obs {
+		if obs[i].JobID == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(o *scenario.Observation) {
+			defer wg.Done()
+			stop := time.Now().Add(wait)
+			for {
+				resp, err := client.Get(target + "/jobs/" + o.JobID)
+				if err == nil {
+					raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+					resp.Body.Close()
+					var v jobView
+					switch {
+					case resp.StatusCode == http.StatusNotFound:
+						o.JobLost = true
+						return
+					case rerr == nil && json.Unmarshal(raw, &v) == nil && v.State != "":
+						o.JobState = v.State
+						o.JobError = v.Error
+						switch v.State {
+						case "SUCCEEDED", "FAILED", "CANCELED":
+							return
+						}
+					}
+				}
+				if time.Now().After(stop) {
+					o.JobLost = true
+					return
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+		}(&obs[i])
+	}
+	wg.Wait()
+}
+
+// buildReport assembles the telemetry-lake scenario report.
+func buildReport(prog *scenario.Program, target string, elapsed time.Duration, sum scenario.Summary, results []scenario.InvariantResult) telemetry.ScenarioReport {
+	r := telemetry.ScenarioReport{
+		Name:          prog.Name,
+		Seed:          prog.Seed,
+		Digest:        prog.Digest(),
+		FaultSpec:     prog.FaultSpec,
+		Target:        target,
+		DurationMS:    elapsed.Milliseconds(),
+		Requests:      sum.Requests,
+		ByStatus:      sum.ByStatus,
+		ByCache:       sum.ByCache,
+		ShedFrac:      sum.ShedFrac,
+		P50us:         sum.P50us,
+		P90us:         sum.P90us,
+		P99us:         sum.P99us,
+		JobsAccepted:  sum.JobsAccepted,
+		JobsSucceeded: sum.JobsSucceeded,
+		JobsFailed:    sum.JobsFailed,
+		JobsLost:      sum.JobsLost,
+		Passed:        scenario.AllOK(results),
+	}
+	for _, res := range results {
+		r.Invariants = append(r.Invariants, telemetry.ScenarioInvariant{Name: res.Name, OK: res.OK, Detail: res.Detail})
+	}
+	return r
+}
+
+// printVerdict writes the human-readable run summary and invariant table.
+func printVerdict(w io.Writer, sum scenario.Summary, results []scenario.InvariantResult, elapsed time.Duration) {
+	statuses := make([]string, 0, len(sum.ByStatus))
+	for k := range sum.ByStatus {
+		statuses = append(statuses, k)
+	}
+	sort.Strings(statuses)
+	parts := make([]string, 0, len(statuses))
+	for _, k := range statuses {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, sum.ByStatus[k]))
+	}
+	fmt.Fprintf(w, "streakload: %d requests in %s [%s] shed %.1f%% p50 %s p99 %s\n",
+		sum.Requests, elapsed.Round(time.Millisecond), strings.Join(parts, " "),
+		100*sum.ShedFrac,
+		time.Duration(sum.P50us)*time.Microsecond,
+		time.Duration(sum.P99us)*time.Microsecond)
+	if sum.JobsAccepted > 0 {
+		fmt.Fprintf(w, "streakload: jobs accepted %d succeeded %d failed %d lost %d\n",
+			sum.JobsAccepted, sum.JobsSucceeded, sum.JobsFailed, sum.JobsLost)
+	}
+	for _, r := range results {
+		mark := "PASS"
+		if !r.OK {
+			mark = "FAIL"
+		}
+		line := fmt.Sprintf("streakload: [%s] %s", mark, r.Name)
+		if r.Detail != "" {
+			line += ": " + r.Detail
+		}
+		fmt.Fprintln(w, line)
+	}
+}

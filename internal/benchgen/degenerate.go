@@ -1,0 +1,245 @@
+package benchgen
+
+// Degenerate and adversarial presets. The Industry presets reproduce the
+// paper's published benchmark statistics; production traffic is nastier.
+// The builders here emit the shapes a scenario run throws at streakd:
+// single-bit groups (the narrowest legal group), very wide buses (W_max
+// far beyond the paper's 256), pin-dense hotspots, serpentine blockage
+// mazes that force long detours, and capacity cliffs where demand sits
+// just at the edge-capacity supply. All of them are deterministic in the
+// seed and pass signal.Design Validate, so they can be fired at a live
+// daemon or diffed/mutated by the churn engine like any other design.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/signal"
+)
+
+// DegeneratePresets lists the named degenerate/adversarial builders, for
+// cmd/benchgen -preset and the scenario engine. Sorted.
+func DegeneratePresets() []string {
+	names := make([]string, 0, len(degenerateBuilders))
+	for name := range degenerateBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Degenerate builds the named preset with the seed. Unknown names error
+// and list what exists.
+func Degenerate(name string, seed int64) (*signal.Design, error) {
+	b, ok := degenerateBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("benchgen: unknown preset %q (have: %v)", name, DegeneratePresets())
+	}
+	return b(seed), nil
+}
+
+var degenerateBuilders = map[string]func(seed int64) *signal.Design{
+	"single-bit": func(seed int64) *signal.Design { return SingleBitGroups(seed, 24, 48, 48) },
+	"widebus":    func(seed int64) *signal.Design { return WideBus(seed, 1000) },
+	"pindense":   func(seed int64) *signal.Design { return PinDense(seed, 28) },
+	"maze":       func(seed int64) *signal.Design { return Maze(seed, 64, 64, 4) },
+	"cliff":      func(seed int64) *signal.Design { return CapacityCliff(seed, 6) },
+}
+
+// SingleBitGroups builds n groups of exactly one two-pin bit each — the
+// narrowest group Definition 1 admits. Identification, regularity and
+// selection must all survive the width-1 edge case.
+func SingleBitGroups(seed int64, n, w, h int) *signal.Design {
+	r := rand.New(rand.NewSource(seed))
+	d := &signal.Design{
+		Name: fmt.Sprintf("single-bit-%d", seed),
+		Grid: signal.GridSpec{W: w, H: h, NumLayers: 4, EdgeCap: 8, Pitch: 5},
+	}
+	for gi := 0; gi < n; gi++ {
+		trunk := 4 + r.Intn(max(4, min(w, h)/2))
+		horizontal := r.Intn(2) == 0
+		var drv, snk geom.Point
+		if horizontal {
+			drv = geom.Pt(1+r.Intn(w-trunk-2), 1+r.Intn(h-2))
+			snk = drv.Add(geom.Pt(trunk, 0))
+		} else {
+			drv = geom.Pt(1+r.Intn(w-2), 1+r.Intn(h-trunk-2))
+			snk = drv.Add(geom.Pt(0, trunk))
+		}
+		name := fmt.Sprintf("sb%03d", gi)
+		d.Groups = append(d.Groups, signal.Group{
+			Name: name,
+			Bits: []signal.Bit{{
+				Name: name + "[0]",
+				Pins: []signal.Pin{{Loc: drv}, {Loc: snk}},
+			}},
+		})
+	}
+	return d
+}
+
+// WideBus builds one group of `width` parallel bits — far wider than the
+// paper's W_max of 256 — plus two ordinary groups so selection still has
+// inter-group competition. The grid is sized to fit the bus.
+func WideBus(seed int64, width int) *signal.Design {
+	if width < 1 {
+		width = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	h := width + 10
+	w := 48
+	trunk := 32
+	d := &signal.Design{
+		Name: fmt.Sprintf("widebus-%d-%d", width, seed),
+		Grid: signal.GridSpec{W: w, H: h, NumLayers: 4, EdgeCap: 8, Pitch: 5},
+	}
+	bus := signal.Group{Name: "bus"}
+	for b := 0; b < width; b++ {
+		bus.Bits = append(bus.Bits, signal.Bit{
+			Name: fmt.Sprintf("bus[%d]", b),
+			Pins: []signal.Pin{{Loc: geom.Pt(4, 4+b)}, {Loc: geom.Pt(4+trunk, 4+b)}},
+		})
+	}
+	d.Groups = append(d.Groups, bus)
+	for gi := 0; gi < 2; gi++ {
+		g := signal.Group{Name: fmt.Sprintf("side%d", gi)}
+		oy := 2 + r.Intn(max(1, h-12))
+		for b := 0; b < 3; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Name: fmt.Sprintf("%s[%d]", g.Name, b),
+				Pins: []signal.Pin{{Loc: geom.Pt(1, oy+b)}, {Loc: geom.Pt(1+8+r.Intn(6), oy+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}
+
+// PinDense crams n multipin groups into a small hotspot at the center of
+// the grid — the pin-access pathology of macrocell channels. Every pin of
+// every group lands inside a hotspot a fraction of the grid's area.
+func PinDense(seed int64, n int) *signal.Design {
+	r := rand.New(rand.NewSource(seed))
+	const w, h = 64, 64
+	// Hotspot: the central quarter.
+	hx, hy, hw, hh := w/2-10, h/2-10, 20, 20
+	d := &signal.Design{
+		Name: fmt.Sprintf("pindense-%d", seed),
+		Grid: signal.GridSpec{W: w, H: h, NumLayers: 4, EdgeCap: 9, Pitch: 5},
+	}
+	for gi := 0; gi < n; gi++ {
+		width := 2 + r.Intn(3)
+		trunk := 6 + r.Intn(8)
+		horizontal := r.Intn(2) == 0
+		ox := hx + r.Intn(max(1, hw-trunk-1))
+		oy := hy + r.Intn(max(1, hh-width-1))
+		if !horizontal {
+			ox = hx + r.Intn(max(1, hw-width-1))
+			oy = hy + r.Intn(max(1, hh-trunk-1))
+		}
+		g := signal.Group{Name: fmt.Sprintf("hot%03d", gi)}
+		extra := r.Intn(2) // 0 or 1 extra sink per bit, same offset per group
+		off := geom.Pt(2+r.Intn(3), 1+r.Intn(2))
+		for b := 0; b < width; b++ {
+			var drv, snk geom.Point
+			if horizontal {
+				drv, snk = geom.Pt(ox, oy+b), geom.Pt(ox+trunk, oy+b)
+			} else {
+				drv, snk = geom.Pt(ox+b, oy), geom.Pt(ox+b, oy+trunk)
+			}
+			bit := signal.Bit{
+				Name: fmt.Sprintf("%s[%d]", g.Name, b),
+				Pins: []signal.Pin{{Loc: drv}, {Loc: snk}},
+			}
+			if extra == 1 {
+				loc := drv.Add(off)
+				if loc.X < w && loc.Y < h && loc != drv && loc != snk {
+					bit.Pins = append(bit.Pins, signal.Pin{Loc: loc})
+				}
+			}
+			g.Bits = append(g.Bits, bit)
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}
+
+// Maze builds a serpentine blockage maze: vertical walls attached to
+// alternating edges leave one corridor each, so left-to-right groups must
+// wind through every gap. Walls block every layer, which stresses detour
+// length, congestion in the corridors, and the audit's blockage checks.
+func Maze(seed int64, w, h, layers int) *signal.Design {
+	r := rand.New(rand.NewSource(seed))
+	d := &signal.Design{
+		Name: fmt.Sprintf("maze-%d", seed),
+		Grid: signal.GridSpec{W: w, H: h, NumLayers: layers, EdgeCap: 8, Pitch: 5},
+	}
+	// Walls every 8 columns, 2 wide, leaving a corridor of 8 cells at the
+	// top or bottom, alternating.
+	const spacing, wallW, corridor = 8, 2, 8
+	for x := spacing; x+wallW < w-spacing; x += spacing {
+		top := (x/spacing)%2 == 0
+		var rect geom.Rect
+		if top {
+			rect = geom.Rect{Lo: geom.Pt(x, corridor), Hi: geom.Pt(x+wallW-1, h-1)}
+		} else {
+			rect = geom.Rect{Lo: geom.Pt(x, 0), Hi: geom.Pt(x+wallW-1, h-1-corridor)}
+		}
+		for l := 0; l < layers; l++ {
+			d.Grid.Blockages = append(d.Grid.Blockages, signal.Blockage{Layer: l, Rect: rect})
+		}
+	}
+	// Groups crossing the maze, drivers on the left wall, sinks on the
+	// right, in distinct row bands so their pins never collide.
+	for gi := 0; gi < 5; gi++ {
+		width := 3 + r.Intn(3)
+		oy := 2 + gi*(h-8)/5
+		g := signal.Group{Name: fmt.Sprintf("mz%02d", gi)}
+		for b := 0; b < width; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Name: fmt.Sprintf("%s[%d]", g.Name, b),
+				Pins: []signal.Pin{{Loc: geom.Pt(1, oy+b)}, {Loc: geom.Pt(w-2, oy+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}
+
+// CapacityCliff funnels n groups through one shared horizontal channel
+// with edge capacity sized barely at demand, so a single extra track —
+// one more group, a churn step that moves a group into the band, or a
+// corrupted capacity bookkeeping — tips routing over the cliff.
+func CapacityCliff(seed int64, n int) *signal.Design {
+	r := rand.New(rand.NewSource(seed))
+	const w, h = 56, 56
+	const groupWidth = 6
+	band := groupWidth + 4 // rows of the shared channel
+	// Demand: every group's groupWidth bits cross every column of the
+	// channel. Supply: band rows x horizontal layers x EdgeCap. Two of the
+	// four layers run horizontally.
+	demand := n * groupWidth
+	edgeCap := max(1, demand/(band*2))
+	d := &signal.Design{
+		Name: fmt.Sprintf("cliff-%d", seed),
+		Grid: signal.GridSpec{W: w, H: h, NumLayers: 4, EdgeCap: edgeCap, Pitch: 5},
+	}
+	oy := h/2 - band/2
+	for gi := 0; gi < n; gi++ {
+		g := signal.Group{Name: fmt.Sprintf("cl%02d", gi)}
+		// All groups share the same row band; staggered start columns keep
+		// pins distinct while trunks still overlap along the channel.
+		row := oy + r.Intn(max(1, band-groupWidth))
+		x0 := 1 + gi%3
+		for b := 0; b < groupWidth; b++ {
+			g.Bits = append(g.Bits, signal.Bit{
+				Name: fmt.Sprintf("%s[%d]", g.Name, b),
+				Pins: []signal.Pin{{Loc: geom.Pt(x0, row+b)}, {Loc: geom.Pt(w-2-gi%3, row+b)}},
+			})
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	return d
+}

@@ -265,13 +265,17 @@ func sleep(ctx context.Context, d time.Duration) {
 //	exact.solve=panic;hier.tile=delay:50ms#2;pd.capacity=corrupt@1
 //
 // Unknown point names are rejected so a typo cannot silently disarm a
-// chaos run.
+// chaos run, and naming the same point twice is an error rather than
+// last-wins: a spec like "pd.solve=panic;pd.solve=delay:1s" almost always
+// means the author expected both actions, and silently dropping the first
+// would disarm half the chaos run.
 func ParseSpec(spec string) (*Plan, error) {
 	p := NewPlan()
 	known := make(map[string]bool, len(Points()))
 	for _, pt := range Points() {
 		known[pt] = true
 	}
+	armed := make(map[string]bool)
 	for _, ent := range strings.Split(spec, ";") {
 		ent = strings.TrimSpace(ent)
 		if ent == "" {
@@ -285,6 +289,10 @@ func ParseSpec(spec string) (*Plan, error) {
 		if !known[point] {
 			return nil, fmt.Errorf("faultinject: unknown point %q (known: %s)", point, strings.Join(Points(), ", "))
 		}
+		if armed[point] {
+			return nil, fmt.Errorf("faultinject: point %q armed twice in one spec (a point holds one action; merge or drop one)", point)
+		}
+		armed[point] = true
 		act, err := parseAction(strings.TrimSpace(actSpec))
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: point %s: %w", point, err)
@@ -292,6 +300,86 @@ func ParseSpec(spec string) (*Plan, error) {
 		p.Arm(point, act)
 	}
 	return p, nil
+}
+
+// SpecEntry is one point=action clause for programmatic spec assembly
+// (see FormatSpec).
+type SpecEntry struct {
+	// Point names a compiled-in fault point.
+	Point string
+	// Act is the action to arm there.
+	Act Action
+}
+
+// FormatSpec renders entries into the textual spec grammar ParseSpec
+// accepts, so a generator (the scenario engine's chaos schedules) can
+// build fault plans programmatically and hand them to streakd's
+// -faultinject flag. The round trip ParseSpec(FormatSpec(e)) arms exactly
+// the given actions. Unknown points, duplicate points, and actions the
+// grammar cannot express (several kinds at once, arguments containing the
+// grammar's separators) are errors.
+func FormatSpec(entries []SpecEntry) (string, error) {
+	known := make(map[string]bool, len(Points()))
+	for _, pt := range Points() {
+		known[pt] = true
+	}
+	seen := make(map[string]bool, len(entries))
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !known[e.Point] {
+			return "", fmt.Errorf("faultinject: unknown point %q", e.Point)
+		}
+		if seen[e.Point] {
+			return "", fmt.Errorf("faultinject: point %q appears twice", e.Point)
+		}
+		seen[e.Point] = true
+		clause, err := formatAction(e.Act)
+		if err != nil {
+			return "", fmt.Errorf("faultinject: point %s: %w", e.Point, err)
+		}
+		parts = append(parts, e.Point+"="+clause)
+	}
+	return strings.Join(parts, ";"), nil
+}
+
+// formatAction renders one action as a kind[:arg][@after][#times] clause.
+func formatAction(a Action) (string, error) {
+	set := 0
+	for _, on := range []bool{a.Panic != "", a.Delay > 0, a.Err != "", a.Corrupt} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return "", fmt.Errorf("action must set exactly one of panic, delay, error, corrupt (have %d)", set)
+	}
+	var clause string
+	switch {
+	case a.Panic != "":
+		if strings.ContainsAny(a.Panic, ";=@#") {
+			return "", fmt.Errorf("panic message %q contains spec separators", a.Panic)
+		}
+		clause = "panic:" + a.Panic
+	case a.Delay > 0:
+		clause = "delay:" + a.Delay.String()
+	case a.Err != "":
+		if strings.ContainsAny(a.Err, ";=@#") {
+			return "", fmt.Errorf("error message %q contains spec separators", a.Err)
+		}
+		clause = "error:" + a.Err
+	case a.Corrupt:
+		clause = "corrupt"
+	}
+	if a.After < 0 || a.Times < 0 {
+		return "", fmt.Errorf("negative @after or #times")
+	}
+	if a.After > 0 {
+		clause += fmt.Sprintf("@%d", a.After)
+	}
+	if a.Times > 0 {
+		clause += fmt.Sprintf("#%d", a.Times)
+	}
+	return clause, nil
 }
 
 // parseAction parses one kind[:arg][@after][#times] clause.

@@ -199,3 +199,85 @@ func TestPointsRegistryCoversConstants(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecRejectsDuplicates: naming a point twice in one spec is an
+// error, not last-wins — silently dropping the first action disarms half a
+// chaos run.
+func TestParseSpecRejectsDuplicates(t *testing.T) {
+	for _, spec := range []string{
+		"pd.solve=panic;pd.solve=delay:1s",
+		"pd.solve=panic; pd.solve =panic",
+		"hier.tile=delay:5ms;exact.solve=error;hier.tile=error",
+	} {
+		_, err := ParseSpec(spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted a duplicate point", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "twice") {
+			t.Errorf("ParseSpec(%q) error %q does not name the duplicate", spec, err)
+		}
+	}
+	// Distinct points stay fine.
+	if _, err := ParseSpec("pd.solve=panic;exact.solve=panic"); err != nil {
+		t.Errorf("distinct points rejected: %v", err)
+	}
+}
+
+// TestFormatSpecRoundTrip: FormatSpec output must parse back into a plan
+// arming exactly the given actions — the contract the scenario engine's
+// generated chaos schedules rely on.
+func TestFormatSpecRoundTrip(t *testing.T) {
+	entries := []SpecEntry{
+		{Point: PDSolve, Act: Action{Err: "injected chaos", After: 2, Times: 3}},
+		{Point: HierTile, Act: Action{Delay: 50 * time.Millisecond, Times: 2}},
+		{Point: JobsRun, Act: Action{Err: "injected chaos", Times: 1}},
+		{Point: ExactSolve, Act: Action{Panic: "boom"}},
+		{Point: PDCapacity, Act: Action{Corrupt: true, After: 1}},
+	}
+	spec, err := FormatSpec(entries)
+	if err != nil {
+		t.Fatalf("FormatSpec: %v", err)
+	}
+	plan, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	plan.mu.Lock()
+	defer plan.mu.Unlock()
+	if len(plan.armed) != len(entries) {
+		t.Fatalf("round trip armed %d points, want %d", len(plan.armed), len(entries))
+	}
+	for _, e := range entries {
+		ar := plan.armed[e.Point]
+		if ar == nil {
+			t.Errorf("point %s not armed after round trip", e.Point)
+			continue
+		}
+		if ar.act != e.Act {
+			t.Errorf("point %s action = %+v, want %+v", e.Point, ar.act, e.Act)
+		}
+	}
+}
+
+// TestFormatSpecRejects pins the unformattable cases.
+func TestFormatSpecRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []SpecEntry
+	}{
+		{"unknown point", []SpecEntry{{Point: "nosuch.point", Act: Action{Panic: "x"}}}},
+		{"duplicate point", []SpecEntry{
+			{Point: PDSolve, Act: Action{Panic: "x"}},
+			{Point: PDSolve, Act: Action{Err: "y"}},
+		}},
+		{"no action kind", []SpecEntry{{Point: PDSolve, Act: Action{}}}},
+		{"two action kinds", []SpecEntry{{Point: PDSolve, Act: Action{Panic: "x", Err: "y"}}}},
+		{"separator in message", []SpecEntry{{Point: PDSolve, Act: Action{Err: "a;b=c"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := FormatSpec(tc.entries); err == nil {
+			t.Errorf("%s: FormatSpec accepted", tc.name)
+		}
+	}
+}

@@ -38,6 +38,12 @@ func FuzzParseSpec(f *testing.F) {
 		"pd.solve=delay",
 		"pd.solve=panic@9999999999999999999999",
 		"jobs.store.replay=corrupt#\x00",
+		// Duplicate point names in one spec must be rejected, not
+		// last-wins.
+		"pd.solve=panic;pd.solve=delay:1s",
+		"hier.tile=delay:5ms; hier.tile =error",
+		"pd.capacity=corrupt;pd.capacity=corrupt",
+		"pd.solve=panic;exact.solve=error;pd.solve=panic",
 	}
 	for _, s := range seeds {
 		f.Add(s)

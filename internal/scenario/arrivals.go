@@ -1,0 +1,43 @@
+package scenario
+
+// Arrival processes. Scenarios are open-loop: request times are fixed up
+// front from a seeded random source, not paced by responses, which is
+// what lets a burst actually overrun the admission queue instead of
+// politely waiting for it.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PoissonArrivals returns n arrival offsets from a Poisson process with
+// the given mean rate (requests/second): exponential inter-arrival gaps,
+// strictly non-decreasing offsets.
+func PoissonArrivals(r *rand.Rand, n int, ratePerSec float64) []time.Duration {
+	out := make([]time.Duration, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += r.ExpFloat64() / ratePerSec
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// SquareWaveArrivals returns n arrival offsets from a Poisson process
+// whose rate alternates between lowRate and highRate every half period —
+// quiet valleys that let queues drain, then bursts that slam them. The
+// wave starts in the low phase.
+func SquareWaveArrivals(r *rand.Rand, n int, lowRate, highRate float64, period time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	half := period.Seconds() / 2
+	t := 0.0
+	for i := 0; i < n; i++ {
+		rate := lowRate
+		if int(t/half)%2 == 1 {
+			rate = highRate
+		}
+		t += r.ExpFloat64() / rate
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package scenario
+
+// Record/replay. streakd -record-dir hands each accepted /route and
+// /jobs body to a Capture, which keeps a bounded ring of JSONL segment
+// files on disk. A captured window of live traffic becomes a Program via
+// ProgramFromCapture and replays through cmd/streakload -replay — the
+// bug that only happens under "whatever production was doing at 3am"
+// becomes a seeded regression.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/signal"
+)
+
+// CapturedRequest is one recorded request, as stored on disk.
+type CapturedRequest struct {
+	// TimeMS is the capture wall-clock time in Unix milliseconds. Replay
+	// only uses differences between consecutive entries, so clock epoch
+	// does not matter.
+	TimeMS int64 `json:"time_ms"`
+	// Path is the request path ("/route" or "/jobs").
+	Path string `json:"path"`
+	// Query is the raw query string, "" for none.
+	Query string `json:"query,omitempty"`
+	// Body is the verbatim request body (a signal.Design JSON document).
+	Body json.RawMessage `json:"body"`
+}
+
+// Capture is a ring of JSONL segment files holding recent request
+// bodies. Safe for concurrent Record calls. Total disk use is bounded by
+// keep segments of ~segBytes each.
+type Capture struct {
+	dir      string
+	segBytes int64
+	keep     int
+	now      func() time.Time
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	written int64
+	seq     int
+}
+
+// Capture file naming: capture-%06d.jsonl, monotonically increasing.
+const capPrefix, capSuffix = "capture-", ".jsonl"
+
+// OpenCapture opens (creating if needed) a capture ring in dir. Segments
+// rotate at segBytes (default 4 MiB if <= 0) and at most keep segments
+// are retained (default 8 if <= 0); older segments are deleted. Resumes
+// numbering after any segments already present.
+func OpenCapture(dir string, segBytes int64, keep int) (*Capture, error) {
+	if segBytes <= 0 {
+		segBytes = 4 << 20
+	}
+	if keep <= 0 {
+		keep = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: capture dir: %w", err)
+	}
+	c := &Capture{dir: dir, segBytes: segBytes, keep: keep, now: time.Now}
+	segs, err := captureSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(segs); n > 0 {
+		fmt.Sscanf(filepath.Base(segs[n-1]), capPrefix+"%06d"+capSuffix, &c.seq)
+		c.seq++
+	}
+	if err := c.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Record appends one request to the ring. Errors are returned, not
+// fatal: the serving path treats capture as best-effort.
+func (c *Capture) Record(path, query string, body []byte) error {
+	line, err := json.Marshal(CapturedRequest{
+		TimeMS: c.now().UnixMilli(),
+		Path:   path,
+		Query:  query,
+		Body:   json.RawMessage(body),
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: capture encode: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w == nil {
+		return fmt.Errorf("scenario: capture closed")
+	}
+	if c.written > 0 && c.written+int64(len(line))+1 > c.segBytes {
+		if err := c.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := c.w.Write(append(line, '\n'))
+	c.written += int64(n)
+	if err != nil {
+		return fmt.Errorf("scenario: capture write: %w", err)
+	}
+	// Flush per record: a capture that loses its tail on crash is useless
+	// for reproducing the crash.
+	return c.w.Flush()
+}
+
+// Close flushes and closes the current segment.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.w, c.f = nil, nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// rotateLocked closes the current segment, opens the next, and prunes
+// the ring down to keep segments. Caller holds c.mu.
+func (c *Capture) rotateLocked() error {
+	if c.w != nil {
+		c.w.Flush()
+		c.f.Close()
+	}
+	name := filepath.Join(c.dir, fmt.Sprintf("%s%06d%s", capPrefix, c.seq, capSuffix))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("scenario: capture segment: %w", err)
+	}
+	c.f, c.w, c.written = f, bufio.NewWriter(f), 0
+	c.seq++
+	segs, err := captureSegments(c.dir)
+	if err != nil {
+		return err
+	}
+	for len(segs) > c.keep {
+		if err := os.Remove(segs[0]); err != nil {
+			return fmt.Errorf("scenario: capture prune: %w", err)
+		}
+		segs = segs[1:]
+	}
+	return nil
+}
+
+// captureSegments lists the ring's segment files, oldest first.
+func captureSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: capture dir: %w", err)
+	}
+	var segs []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, capPrefix) && strings.HasSuffix(name, capSuffix) {
+			segs = append(segs, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// ReadCapture loads every request in the ring, oldest first. Lines that
+// fail to decode are skipped with a count, not fatal — a half-written
+// tail after a crash must not poison the rest of the capture.
+func ReadCapture(dir string) (reqs []CapturedRequest, skipped int, err error) {
+	segs, err := captureSegments(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, seg := range segs {
+		f, err := os.Open(seg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("scenario: capture read: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+		for sc.Scan() {
+			var cr CapturedRequest
+			if json.Unmarshal(sc.Bytes(), &cr) != nil || cr.Path == "" {
+				skipped++
+				continue
+			}
+			reqs = append(reqs, cr)
+		}
+		serr := sc.Err()
+		f.Close()
+		if serr != nil {
+			return nil, 0, fmt.Errorf("scenario: capture scan %s: %w", seg, serr)
+		}
+	}
+	return reqs, skipped, nil
+}
+
+// ProgramFromCapture turns captured traffic into a replayable Program.
+// Arrival offsets preserve the captured inter-request spacing (the first
+// request fires at 0); bodies that do not decode as designs are dropped
+// with their count reported.
+func ProgramFromCapture(name string, reqs []CapturedRequest) (prog *Program, dropped int, err error) {
+	prog = &Program{Name: name}
+	var epoch int64
+	for _, cr := range reqs {
+		var d signal.Design
+		if json.Unmarshal(cr.Body, &d) != nil || d.Validate() != nil {
+			dropped++
+			continue
+		}
+		if len(prog.Requests) == 0 {
+			epoch = cr.TimeMS
+		}
+		at := time.Duration(cr.TimeMS-epoch) * time.Millisecond
+		if n := len(prog.Requests); n > 0 && at < prog.Requests[n-1].At {
+			at = prog.Requests[n-1].At // clamp clock skew to keep replay ordered
+		}
+		prog.Requests = append(prog.Requests, Request{At: at, Path: cr.Path, Query: cr.Query, Design: &d})
+	}
+	if len(prog.Requests) == 0 {
+		return nil, dropped, fmt.Errorf("scenario: capture holds no replayable requests (%d undecodable)", dropped)
+	}
+	return prog, dropped, nil
+}

@@ -106,6 +106,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
+	if s.cfg.Recorder != nil {
+		if rerr := s.cfg.Recorder.Record("/jobs", r.URL.RawQuery, raw); rerr != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("record /jobs: %v", rerr)
+		}
+	}
 	spec := jobs.Spec{
 		Design:  raw,
 		Method:  q.Get("method"),
@@ -116,6 +121,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	view, existed, err := s.jobs.Submit(r.Context(), spec, r.Header.Get("Idempotency-Key"))
 	switch {
 	case errors.Is(err, jobs.ErrDraining):
+		// Same contract as the synchronous drain 503: retryable, with a hint.
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 		return
 	case err != nil:

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/signal"
+)
+
+// memRecorder collects recorded requests for assertions.
+type memRecorder struct {
+	mu   sync.Mutex
+	reqs []struct {
+		path, query string
+		body        []byte
+	}
+	fail error
+}
+
+func (m *memRecorder) Record(path, query string, body []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	cp := append([]byte(nil), body...)
+	m.reqs = append(m.reqs, struct {
+		path, query string
+		body        []byte
+	}{path, query, cp})
+	return nil
+}
+
+// TestRecorderCapturesAcceptedRequests: the Recorder hook sees every
+// validated /route and /jobs body with its query string, and the captured
+// bytes decode back into the submitted design.
+func TestRecorderCapturesAcceptedRequests(t *testing.T) {
+	rec := &memRecorder{}
+	s := New(Config{Recorder: rec, JobStore: jobs.NewMemStore(), JobWorkers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := testDesign(t)
+	if resp := post(t, ts, "/route?stats=1", designBody(t, d), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/route status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts, "/jobs", designBody(t, d), nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/jobs status %d", resp.StatusCode)
+	}
+	// Malformed bodies must NOT be recorded: a capture replays only
+	// validated traffic.
+	post(t, ts, "/route", designBody(t, &signal.Design{Name: "bad"}), nil)
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.reqs) != 2 {
+		t.Fatalf("recorded %d requests, want 2", len(rec.reqs))
+	}
+	if rec.reqs[0].path != "/route" || rec.reqs[0].query != "stats=1" {
+		t.Fatalf("first record = %s?%s", rec.reqs[0].path, rec.reqs[0].query)
+	}
+	if rec.reqs[1].path != "/jobs" {
+		t.Fatalf("second record path = %s", rec.reqs[1].path)
+	}
+	var got signal.Design
+	if err := json.Unmarshal(rec.reqs[0].body, &got); err != nil {
+		t.Fatalf("recorded body does not decode: %v", err)
+	}
+	if got.Name != d.Name || len(got.Groups) != len(d.Groups) {
+		t.Fatalf("recorded design %q/%d groups, want %q/%d", got.Name, len(got.Groups), d.Name, len(d.Groups))
+	}
+}
+
+// TestRecorderFailureIsBestEffort: a failing recorder must never fail the
+// request it was observing.
+func TestRecorderFailureIsBestEffort(t *testing.T) {
+	rec := &memRecorder{fail: errors.New("disk full")}
+	var logged []string
+	var mu sync.Mutex
+	s := New(Config{
+		Recorder: rec,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp := post(t, ts, "/route", designBody(t, testDesign(t)), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recorder failure leaked into response: status %d", resp.StatusCode)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 {
+		t.Fatal("recorder failure was not logged")
+	}
+}
+
+// TestDrainRetryAfter: a draining server's 503s — synchronous /route and
+// async /jobs submission alike — carry Retry-After just like the 429 shed
+// path, so clients treat drain as retryable, not as an outage.
+func TestDrainRetryAfter(t *testing.T) {
+	s := New(Config{JobStore: jobs.NewMemStore(), JobWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.BeginDrain()
+
+	for _, path := range []string{"/route", "/jobs"} {
+		resp := post(t, ts, path, designBody(t, testDesign(t)), nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: status %d, want 503", path, resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("%s during drain: 503 without Retry-After", path)
+		}
+		var secs int
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil || secs < 1 {
+			t.Fatalf("%s during drain: Retry-After=%q, want integer >= 1", path, ra)
+		}
+	}
+}

@@ -97,6 +97,20 @@ type Config struct {
 	// a distilled report through the lake's non-blocking client. nil
 	// disables the lake; the solve path then pays one nil check.
 	Telemetry *telemetry.Service
+	// Recorder, when non-nil, receives every accepted /route and /jobs
+	// request (path, raw query, canonical design JSON) for record/replay —
+	// streakd -record-dir wires a capture ring here (internal/scenario).
+	// Recording is best-effort: errors go to Logf and never fail the
+	// request. Only bodies that passed validation are recorded, after
+	// decode and before admission, so a captured stream replays cleanly
+	// even when the live request was ultimately shed.
+	Recorder RequestRecorder
+}
+
+// RequestRecorder is the seam between the serving tier and the
+// record/replay harness. Implementations must be safe for concurrent use.
+type RequestRecorder interface {
+	Record(path, query string, body []byte) error
 }
 
 // withDefaults fills unset fields.
@@ -266,10 +280,18 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.recordRequest("/route", r.URL.RawQuery, d)
+
 	release, status, admitErr := s.admit(r.Context())
 	if admitErr != nil {
-		if status == http.StatusTooManyRequests {
+		switch status {
+		case http.StatusTooManyRequests:
 			s.shed.Add(1)
+			w.Header().Set("Retry-After", s.retryAfter())
+		case http.StatusServiceUnavailable:
+			// Draining (or a canceled queue wait) is as retryable as a shed:
+			// the instance restarts or rotates out, so tell clients when to
+			// come back instead of letting them treat 503 as an outage.
 			w.Header().Set("Retry-After", s.retryAfter())
 		}
 		writeJSON(w, status, ErrorResponse{Error: admitErr.Error()})
@@ -474,6 +496,22 @@ func (s *Server) admit(reqCtx context.Context) (func(), int, error) {
 			<-s.sem
 		}
 	}, 0, nil
+}
+
+// recordRequest hands one accepted request body to the configured
+// record/replay recorder. Best-effort by design: a full disk or a closed
+// ring must never fail live traffic.
+func (s *Server) recordRequest(path, query string, d *signal.Design) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	body, err := json.Marshal(d)
+	if err == nil {
+		err = s.cfg.Recorder.Record(path, query, body)
+	}
+	if err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("record %s: %v", path, err)
+	}
 }
 
 // retryAfter hints when shed traffic should come back: roughly when the

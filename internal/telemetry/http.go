@@ -53,6 +53,8 @@ func (s *Service) Register(mux *http.ServeMux, wrap func(http.HandlerFunc) http.
 	}
 	mux.HandleFunc("POST /telemetry/v1/reports", wrap(s.HandleIngestReport))
 	mux.HandleFunc("POST /telemetry/v1/bench", wrap(s.HandleIngestBench))
+	mux.HandleFunc("POST /telemetry/v1/scenarios", wrap(s.HandleIngestScenario))
+	mux.HandleFunc("GET /telemetry/v1/scenarios", wrap(s.HandleScenarios))
 	mux.HandleFunc("GET /telemetry/v1/series", wrap(s.HandleSeries))
 	mux.HandleFunc("GET /telemetry/v1/bench/trajectory", wrap(s.HandleTrajectory))
 	mux.HandleFunc("GET /telemetry/v1/stats", wrap(s.HandleStats))
@@ -139,6 +141,49 @@ func (s *Service) HandleIngestBench(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"stored": 1, "kind": KindBench, "commit": rec.Commit})
 }
 
+// HandleIngestScenario is POST /telemetry/v1/scenarios: the body is one
+// ScenarioReport; ?source= names the pusher (default "streakload"). The
+// report lands durably before the 202, so a CI soak's verdict survives
+// the runner.
+func (s *Service) HandleIngestScenario(w http.ResponseWriter, r *http.Request) {
+	var sr ScenarioReport
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes)).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding scenario report: %v", err))
+		return
+	}
+	if sr.Name == "" {
+		httpError(w, http.StatusBadRequest, "scenario report has no name")
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "streakload"
+	}
+	if err := s.store.Append([]Record{NewScenarioRecord(source, sr)}); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"stored": 1, "kind": KindScenario, "name": sr.Name})
+}
+
+// HandleScenarios is GET /telemetry/v1/scenarios[?name=...]: the stored
+// scenario runs, oldest first, optionally filtered by scenario name —
+// the robustness trajectory next to the perf one.
+func (s *Service) HandleScenarios(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	out := []Record{}
+	for _, rec := range s.store.Records() {
+		if rec.Kind != KindScenario || rec.Scenario == nil {
+			continue
+		}
+		if name != "" && rec.Scenario.Name != name {
+			continue
+		}
+		out = append(out, rec)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // HandleSeries is GET /telemetry/v1/series?metric=...&window=...: the
 // aggregated report series (see ComputeSeries).
 func (s *Service) HandleSeries(w http.ResponseWriter, r *http.Request) {
@@ -200,6 +245,34 @@ func PushBench(ctx context.Context, baseURL string, artifact []byte) error {
 	if resp.StatusCode/100 != 2 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("telemetry: push rejected: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// PushScenario posts one scenario report to the ingest endpoint rooted at
+// baseURL. Non-2xx responses become errors carrying the server's message.
+func PushScenario(ctx context.Context, baseURL, source string, sr ScenarioReport) error {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding scenario report: %w", err)
+	}
+	url := strings.TrimRight(baseURL, "/") + "/telemetry/v1/scenarios"
+	if source != "" {
+		url += "?source=" + source
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("telemetry: building scenario push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("telemetry: pushing scenario report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("telemetry: scenario push rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	return nil
 }

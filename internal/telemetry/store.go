@@ -231,7 +231,7 @@ func decodeLine(line []byte) (Record, error) {
 	if rec.Schema > SchemaVersion {
 		return rec, fmt.Errorf("record schema %d newer than this store's %d", rec.Schema, SchemaVersion)
 	}
-	if rec.Kind != KindReport && rec.Kind != KindBench {
+	if rec.Kind != KindReport && rec.Kind != KindBench && rec.Kind != KindScenario {
 		return rec, fmt.Errorf("unknown record kind %q", rec.Kind)
 	}
 	return rec, nil

@@ -42,6 +42,10 @@ const (
 	KindReport = "report"
 	// KindBench is one BENCH_*.json perf artifact, keyed by commit.
 	KindBench = "bench"
+	// KindScenario is one load/chaos scenario run's report: the program's
+	// identity (name, seed, digest, fault spec), its aggregate latency and
+	// shed numbers, and the end-to-end invariant verdicts (cmd/streakload).
+	KindScenario = "scenario"
 )
 
 // Record is one ingested telemetry envelope — exactly one of Report or
@@ -63,6 +67,8 @@ type Record struct {
 	Report *SolveReport `json:"report,omitempty"`
 	// Bench is the perf artifact point (Kind == KindBench).
 	Bench *BenchPoint `json:"bench,omitempty"`
+	// Scenario is the load/chaos run report (Kind == KindScenario).
+	Scenario *ScenarioReport `json:"scenario,omitempty"`
 }
 
 // SolveReport distills one solve's obs.Report into the fields the query
@@ -184,6 +190,62 @@ func SummarizeCongestion(snap *obs.CongestionSnapshot) *CongestionSummary {
 		cs.MeanUtilPct = 100 * float64(used) / float64(capTotal)
 	}
 	return cs
+}
+
+// ScenarioReport is one scenario run, distilled for the lake. The field
+// shapes mirror internal/scenario's Summary/InvariantResult but are
+// declared here so the lake's stored schema does not depend on the
+// harness package (remote pushers only need this documented shape).
+type ScenarioReport struct {
+	// Name and Seed identify the scenario family and its instantiation.
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Digest is the program's canonical-JSON SHA-256 — two runs with the
+	// same digest fired the identical request sequence.
+	Digest string `json:"digest,omitempty"`
+	// FaultSpec is the faultinject plan armed alongside the run.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// Target is the daemon the scenario was fired at.
+	Target string `json:"target,omitempty"`
+	// DurationMS is the run's wall clock.
+	DurationMS int64 `json:"duration_ms"`
+	// Requests, ByStatus, ByCache and ShedFrac aggregate the responses.
+	Requests int            `json:"requests"`
+	ByStatus map[string]int `json:"by_status,omitempty"`
+	ByCache  map[string]int `json:"by_cache,omitempty"`
+	ShedFrac float64        `json:"shed_frac"`
+	// P50us/P90us/P99us are 2xx latency percentiles in microseconds.
+	P50us int64 `json:"p50_us"`
+	P90us int64 `json:"p90_us"`
+	P99us int64 `json:"p99_us"`
+	// Jobs* summarize the async submissions the scenario made.
+	JobsAccepted  int `json:"jobs_accepted,omitempty"`
+	JobsSucceeded int `json:"jobs_succeeded,omitempty"`
+	JobsFailed    int `json:"jobs_failed,omitempty"`
+	JobsLost      int `json:"jobs_lost,omitempty"`
+	// Invariants carries every checked invariant's verdict; Passed is
+	// their conjunction.
+	Invariants []ScenarioInvariant `json:"invariants,omitempty"`
+	Passed     bool                `json:"passed"`
+}
+
+// ScenarioInvariant is one invariant's verdict within a scenario report.
+type ScenarioInvariant struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewScenarioRecord wraps a scenario report in a stamped envelope.
+func NewScenarioRecord(source string, sr ScenarioReport) Record {
+	return Record{
+		Schema:   SchemaVersion,
+		Kind:     KindScenario,
+		TimeMS:   time.Now().UnixMilli(),
+		Source:   source,
+		Commit:   obs.BuildInfoLabels()["vcs_revision"],
+		Scenario: &sr,
+	}
 }
 
 // NewReportRecord wraps a distilled solve report in a stamped envelope:
